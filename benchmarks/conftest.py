@@ -1,0 +1,44 @@
+"""Benchmark fixtures: full paper-scale design runs, built once.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation at netlist scale 1.0.  Each regenerated table is printed and
+also written to ``results/<name>.txt`` so the comparison survives pytest
+output capture.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.flow import run_design, run_monolithic  # noqa: E402
+from repro.tech.interposer import spec_names  # noqa: E402
+
+#: Paper-scale reproduction.
+FULL_SCALE = 1.0
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table to results/<name>.txt and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def full_designs():
+    """All six design points at paper scale (cached across benches)."""
+    return {name: run_design(name, scale=FULL_SCALE)
+            for name in spec_names()}
+
+
+@pytest.fixture(scope="session")
+def monolithic_full():
+    return run_monolithic(scale=FULL_SCALE)

@@ -1,0 +1,97 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* SerDes ratio: the bump-budget/latency trade behind the paper's 8:1.
+* Congestion detour: how much of the glass-vs-silicon wirelength
+  inversion (Table III) comes from routing congestion.
+* Crosstalk aggressors: eye sensitivity to the two-aggressor worst-case
+  assumption of Fig. 14.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.arch.modules import INTER_TILE_BUSES
+from repro.chiplet.bumps import plan_bumps
+from repro.core.report import format_table
+from repro.partition.serdes import SerDesConfig, serialize_buses, total_lanes
+from repro.si.crosstalk import coupled_line_for_spec
+from repro.si.eye import simulate_eye
+from repro.si.tline import line_for_spec
+from repro.tech.interposer import GLASS_25D, SILICON_25D
+
+
+def test_ablation_serdes_ratio(benchmark):
+    def sweep():
+        rows = []
+        for ratio in (1, 2, 4, 8, 16, 32):
+            cfg = SerDesConfig(ratio=ratio, latency_cycles=ratio)
+            lanes = total_lanes(serialize_buses(INTER_TILE_BUSES, cfg))
+            plan = plan_bumps(lanes + 231, GLASS_25D)
+            rows.append((ratio, lanes, plan.width_mm, ratio))
+        return rows
+
+    rows = benchmark(sweep)
+    text = format_table(
+        ["serdes ratio", "inter-tile lanes", "logic die (mm)",
+         "latency (cycles)"],
+        rows, title="Ablation: SerDes ratio vs bump budget")
+    write_result("ablation_serdes", text)
+
+    widths = {r[0]: r[2] for r in rows}
+    # No serialization can't fit the paper's 0.82 mm logic die.
+    assert widths[1] > 0.82
+    # The paper's 8:1 point reaches the minimum-footprint region.
+    assert widths[8] == pytest.approx(0.82, abs=0.01)
+    # Diminishing returns past 8:1.
+    assert widths[8] - widths[32] < 0.06
+
+
+def test_ablation_congestion_detour(benchmark, full_designs):
+    glass = full_designs["glass_25d"].logic
+    silicon = full_designs["silicon_25d"].logic
+    benchmark(lambda: float(glass.route.hpwl_um.sum()))
+
+    rows = []
+    for name, c in (("glass_25d", glass), ("silicon_25d", silicon)):
+        raw_m = float(c.route.hpwl_um.sum()) * 1e-6
+        rows.append([name, round(raw_m, 2),
+                     round(c.wirelength_m, 2),
+                     round(c.route.detour_factor, 3),
+                     round(c.route.track_utilization, 3)])
+    text = format_table(
+        ["logic chiplet", "raw HPWL (m)", "routed WL (m)", "detour",
+         "track util"],
+        rows, title="Ablation: congestion detour on the WL inversion")
+    write_result("ablation_detour", text)
+
+    raw_glass = float(glass.route.hpwl_um.sum())
+    raw_si = float(silicon.route.hpwl_um.sum())
+    # Without congestion, the smaller glass die would route LESS wire;
+    # with it, the Table III inversion appears.
+    assert raw_glass < raw_si
+    assert glass.wirelength_m > silicon.wirelength_m
+    assert glass.route.detour_factor > silicon.route.detour_factor
+
+
+def test_ablation_eye_aggressors(benchmark):
+    line = line_for_spec(SILICON_25D)
+    coupled = coupled_line_for_spec(SILICON_25D)
+
+    def run(n_agg):
+        return simulate_eye(line=line, length_um=1952, coupled=coupled,
+                            aggressors=n_agg, num_bits=48)
+
+    benchmark.pedantic(lambda: run(0), rounds=1, iterations=1)
+    eyes = {n: run(n) for n in (0, 1, 2)}
+    rows = [[n, round(e.eye_width_ns, 3), round(e.eye_height_v, 3)]
+            for n, e in eyes.items()]
+    text = format_table(
+        ["aggressors", "eye width (ns)", "eye height (V)"],
+        rows, title="Ablation: crosstalk aggressor count "
+                    "(silicon 2.5D L2M)")
+    write_result("ablation_aggressors", text)
+
+    # Monotone degradation with aggressor count.
+    assert eyes[0].eye_height_v >= eyes[1].eye_height_v >= \
+        eyes[2].eye_height_v - 1e-9
+    assert eyes[2].eye_height_v < eyes[0].eye_height_v

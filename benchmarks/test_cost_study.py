@@ -1,0 +1,49 @@
+"""Cost study — quantifying the paper's economic claims.
+
+The paper motivates glass with cost ("die embedding at low cost",
+"cost-effective solution for 3D chiplet stacking", silicon 3D "suffers
+from ... manufacturing costs") but reports no numbers.  This bench runs
+the packaging cost/yield model over all six designs.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.report import format_table
+from repro.cost.model import package_cost
+from repro.tech.interposer import spec_names
+
+
+def test_cost_study(benchmark, full_designs):
+    reports = benchmark(lambda: {
+        name: package_cost(full_designs[name].placement)
+        for name in spec_names()})
+
+    rows = []
+    for name, rep in reports.items():
+        rows.append([name,
+                     round(rep.interposer_cost, 3),
+                     rep.units_per_format,
+                     round(rep.interposer_yield, 3),
+                     round(rep.assembly_cost, 2),
+                     round(rep.cost_per_good_system, 2)])
+    text = format_table(
+        ["design", "interposer $", "units/format", "yield",
+         "assembly $", "$ / good system"],
+        rows, title="Packaging cost study (USD, packaging only)")
+    write_result("cost_study", text)
+
+    # Glass interposers are much cheaper per unit than silicon (panel
+    # economics + no TSV module) — the paper's "low cost" claim.
+    assert reports["glass_25d"].interposer_cost < \
+        reports["silicon_25d"].interposer_cost / 2
+
+    # TSV stacking is the most expensive package of all.
+    costs = {n: r.cost_per_good_system for n, r in reports.items()}
+    assert max(costs, key=costs.get) == "silicon_3d"
+
+    # Glass 3D stacking costs a fraction of TSV 3D stacking.
+    assert costs["glass_3d"] < costs["silicon_3d"] / 2
+
+    # Embedding costs more than plain 2.5D assembly (cavity + DAF).
+    assert costs["glass_3d"] > costs["glass_25d"]

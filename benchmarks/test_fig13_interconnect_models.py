@@ -1,0 +1,68 @@
+"""Fig. 13 — F2F/B2B 3D-interconnect model characterization.
+
+The paper extracts TSV/micro-bump S-parameters in HFSS, cascades two
+TSV models for back-to-back (B2B) connections, and feeds them to ADS.
+This bench does the same with the quasi-static models: builds the F2F
+(micro-bump) and B2B (two cascaded TSVs) two-ports, sweeps their
+S-parameters, writes industry-standard Touchstone files, and checks
+passivity and insertion-loss behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, write_result
+from repro.circuit.twoport import TwoPort, cascade as cascade_tp
+from repro.core.report import format_table
+from repro.io.touchstone import sample_two_port, write_touchstone
+from repro.tech.interconnect3d import (cascade, microbump_model,
+                                       stacked_via_model, tgv_model,
+                                       tsv_model)
+
+FREQS = np.logspace(6, 10, 41)
+
+
+def _response(rlc):
+    return sample_two_port(lambda f: TwoPort.from_rlc_pi(rlc, f), FREQS)
+
+
+def test_fig13_regeneration(benchmark, tmp_path):
+    models = {
+        "f2f_microbump": microbump_model(),
+        "b2b_tsv": cascade(tsv_model(), tsv_model()),
+        "tgv": tgv_model(),
+        "stacked_via": stacked_via_model(),
+    }
+    responses = benchmark(lambda: {k: _response(m)
+                                   for k, m in models.items()})
+
+    import os
+    rows = []
+    for name, data in responses.items():
+        path = os.path.join(RESULTS_DIR, f"{name}.s2p")
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        write_touchstone(data, path, comment=f"{name} quasi-static model")
+        il_1g = data.insertion_loss_db()[
+            int(np.argmin(np.abs(FREQS - 1e9)))]
+        il_10g = data.insertion_loss_db()[-1]
+        rows.append([name, round(il_1g, 4), round(il_10g, 3),
+                     "yes" if data.is_passive() else "NO"])
+    text = format_table(
+        ["interconnect", "IL @1GHz (dB)", "IL @10GHz (dB)", "passive"],
+        rows, title="Fig. 13: 3D interconnect model characterization")
+    write_result("fig13_interconnect_models", text)
+
+    # All models are passive across the sweep.
+    for name, data in responses.items():
+        assert data.is_passive(), name
+
+    # Vertical interconnects are nearly transparent at the paper's
+    # 0.7 Gbps fundamental (~0.35 GHz).
+    for name, data in responses.items():
+        idx = int(np.argmin(np.abs(FREQS - 3.5e8)))
+        assert data.insertion_loss_db()[idx] > -0.5, name
+
+    # B2B (two TSVs) loses at least as much as one bump-level hop.
+    f2f = responses["f2f_microbump"].insertion_loss_db()[-1]
+    b2b = responses["b2b_tsv"].insertion_loss_db()[-1]
+    assert b2b <= f2f + 1e-9

@@ -1,0 +1,58 @@
+"""Fig. 14 — eye diagrams of the worst-case victim nets (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import FIG14
+from repro.core.report import format_table
+from repro.si.eye import simulate_eye
+from repro.tech.interconnect3d import stacked_via_model
+
+
+def test_fig14_regeneration(benchmark, full_designs):
+    benchmark.pedantic(
+        lambda: simulate_eye(lumped=stacked_via_model(), num_bits=32),
+        rounds=2, iterations=1)
+
+    rows = []
+    eyes = {}
+    for name, d in full_designs.items():
+        for link, eye in (("l2m", d.l2m_eye), ("l2l", d.l2l_eye)):
+            eyes[(name, link)] = eye
+            paper = FIG14.get((name, link))
+            note = (f"(paper {paper['width_ns']} ns / "
+                    f"{paper['height_v']} V)" if paper else "")
+            rows.append([f"{name}/{link}",
+                         round(eye.eye_width_ns, 3),
+                         round(eye.eye_height_v, 3), note])
+    text = format_table(
+        ["victim net", "eye width (ns)", "eye height (V)", "paper"],
+        rows, title="Fig. 14: worst-case eye diagrams")
+    write_result("fig14_eye", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    # Glass 3D L2M: the paper's best eye (1.415 ns / 0.89 V).
+    g3 = eyes[("glass_3d", "l2m")]
+    assert g3.eye_width_ns == pytest.approx(1.415, rel=0.05)
+    assert g3.eye_height_v == pytest.approx(0.89, rel=0.05)
+
+    # Silicon 2.5D is the worst lateral technology for logic-to-memory
+    # (the longest silicon monitor net).
+    si_l2m = eyes[("silicon_25d", "l2m")]
+    for other in ("glass_25d", "shinko", "apx"):
+        assert si_l2m.eye_height_v <= eyes[(other, "l2m")].eye_height_v \
+            + 1e-9
+    # For logic-to-logic the worst lateral eye belongs to whichever
+    # design routed the longest monitor net — glass 2.5D or silicon 2.5D
+    # in this flow's geometry (the paper's is silicon).
+    l2l = {n: eyes[(n, "l2l")].eye_height_v
+           for n in ("glass_25d", "silicon_25d", "shinko", "apx")}
+    assert min(l2l, key=l2l.get) in ("glass_25d", "silicon_25d")
+
+    # Vertical links (3D) have near-ideal eyes.
+    assert eyes[("silicon_3d", "l2m")].eye_height_v > 0.85
+    assert eyes[("glass_3d", "l2m")].eye_height_v > 0.85
+
+    # Every eye is open at the paper's 0.7 Gbps operating point.
+    for eye in eyes.values():
+        assert eye.is_open

@@ -1,0 +1,43 @@
+"""Fig. 15 — PDN impedance profiles, 1 MHz to 1 GHz (paper-scale)."""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from paper_data import TABLE4
+from repro.core.report import format_table
+from repro.pi.impedance import analyze_pdn_impedance
+
+
+def test_fig15_regeneration(benchmark, full_designs):
+    pdn = full_designs["glass_3d"].pdn
+    benchmark.pedantic(lambda: analyze_pdn_impedance(pdn), rounds=2,
+                       iterations=1)
+
+    names = [n for n in full_designs if n != "silicon_3d"]
+    probe_freqs = [1e6, 1e7, 1e8, 3e8, 1e9]
+    rows = []
+    for name in names:
+        sweep = full_designs[name].pdn_impedance.sweep
+        rows.append([name] + [f"{abs(sweep.at(f)):.3f}"
+                              for f in probe_freqs]
+                    + [TABLE4[name]["pdn_ohm"]])
+    text = format_table(
+        ["design", "1MHz", "10MHz", "100MHz", "300MHz", "1GHz",
+         "paper @1GHz"],
+        rows, title="Fig. 15: PDN impedance profile |Z| (ohm)")
+    write_result("fig15_pdn", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    z1g = {n: full_designs[n].pdn_impedance.z_at_1ghz_ohm for n in names}
+    # Full Table IV ordering reproduced.
+    assert (z1g["glass_3d"] < z1g["silicon_25d"] < z1g["glass_25d"]
+            < z1g["apx"] < z1g["shinko"])
+    # Anchored to the paper's values.
+    for name in names:
+        assert z1g[name] == pytest.approx(TABLE4[name]["pdn_ohm"],
+                                          rel=0.1)
+    # Profiles rise inductively over the last decade for every design.
+    for name in names:
+        mags = full_designs[name].pdn_impedance.sweep.magnitude()
+        assert mags[-1] > mags[len(mags) // 2]

@@ -1,0 +1,52 @@
+"""Fig. 16 — chiplet power-density maps (thermal model heat sources)."""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.chiplet.power import power_density_map
+
+
+def _render(grid):
+    lo, hi = grid.min(), grid.max()
+    shades = " .:-=+*#%@"
+    lines = []
+    for row in grid:
+        line = ""
+        for v in row:
+            idx = int((v - lo) / max(hi - lo, 1e-18) * (len(shades) - 1))
+            line += shades[idx] * 2
+        lines.append("  " + line)
+    return "\n".join(lines)
+
+
+def test_fig16_regeneration(benchmark, full_designs):
+    logic = full_designs["glass_3d"].logic
+    memory = full_designs["glass_3d"].memory
+    maps = benchmark(lambda: {
+        "logic": power_density_map(logic.route, logic.power, bins=8),
+        "memory": power_density_map(memory.route, memory.power, bins=8),
+    })
+
+    parts = []
+    for kind, grid in maps.items():
+        parts.append(f"{kind} chiplet 8x8 power map "
+                     f"(total {grid.sum() * 1e3:.1f} mW, "
+                     f"peak tile {grid.max() * 1e3:.2f} mW):")
+        parts.append(_render(grid))
+    text = "Fig. 16: chiplet power-density maps\n" + "\n".join(parts)
+    write_result("fig16_powermap", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    for kind, grid in maps.items():
+        assert grid.shape == (8, 8)
+        assert (grid >= 0).all()
+    # Maps conserve the chiplet totals.
+    assert maps["logic"].sum() == pytest.approx(
+        logic.power.total_mw * 1e-3)
+    assert maps["memory"].sum() == pytest.approx(
+        memory.power.total_mw * 1e-3)
+    # The SRAM-dominated memory die is less uniform than the logic die.
+    def cv(grid):
+        return grid.std() / grid.mean()
+    assert cv(maps["memory"]) > 0.1

@@ -1,0 +1,64 @@
+"""Fig. 17 — chiplet thermal distribution comparison (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import FIG17
+from repro.core.report import format_table
+from repro.thermal.model import analyze_package_thermal
+
+
+def test_fig17_regeneration(benchmark, full_designs):
+    g3 = full_designs["glass_3d"]
+    powers = {d.name: (g3.logic if d.kind == "logic"
+                       else g3.memory).power.total_mw * 1e-3
+              for d in g3.placement.dies}
+    benchmark.pedantic(
+        lambda: analyze_package_thermal(g3.placement, powers, grid_n=24),
+        rounds=2, iterations=1)
+
+    rows = []
+    for name, d in full_designs.items():
+        rep = d.thermal
+        rows.append([name,
+                     round(rep.die_peak("tile0_logic"), 1),
+                     round(rep.die_peak("tile0_memory"), 1),
+                     round(rep.peak_c, 1)])
+    paper_note = (f"paper: glass_3d logic {FIG17['glass_3d']['logic_c']} "
+                  f"/ mem {FIG17['glass_3d']['memory_c']} C; others "
+                  f"logic {FIG17['others_logic_range']} / mem "
+                  f"{FIG17['others_memory_range']} C")
+    text = format_table(
+        ["design", "logic peak (C)", "memory peak (C)", "package (C)"],
+        rows, title="Fig. 17: chiplet thermal comparison") + \
+        "\n" + paper_note
+    write_result("fig17_chiplet_thermal", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    reps = {n: d.thermal for n, d in full_designs.items()}
+
+    # The embedded memory die is the glass 3D hotspot (paper: 34 vs 27).
+    assert reps["glass_3d"].die_peak("tile0_memory") > \
+        reps["glass_3d"].die_peak("tile0_logic")
+
+    # Glass 3D memory is the hottest memory among interposer designs.
+    mem = {n: r.die_peak("tile0_memory") for n, r in reps.items()
+           if n != "silicon_3d"}
+    assert max(mem, key=mem.get) == "glass_3d"
+
+    # Every other design's memory stays cool (paper: 22-23 C).
+    for name in ("glass_25d", "silicon_25d", "shinko", "apx"):
+        assert reps[name].die_peak("tile0_memory") < \
+            reps["glass_3d"].die_peak("tile0_memory")
+
+    # All interposer dies within the paper's passive-cooling envelope.
+    for name, rep in reps.items():
+        if name == "silicon_3d":
+            continue
+        for die in rep.dies.values():
+            assert 20.0 < die.peak_c < 45.0
+
+    # The TSV stack runs hottest of all (the paper's 3D thermal penalty).
+    others_peak = max(r.peak_c for n, r in reps.items()
+                      if n != "silicon_3d")
+    assert reps["silicon_3d"].peak_c > others_peak

@@ -1,0 +1,53 @@
+"""Section VII-H — full-chip timing and power roll-up (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import TABLE4
+from repro.core.fullchip import full_chip_summary
+from repro.core.report import format_table
+
+
+def test_fullchip_regeneration(benchmark, full_designs, monolithic_full):
+    d = full_designs["glass_3d"]
+    benchmark(lambda: full_chip_summary(d.logic, d.memory,
+                                        d.l2m_channel, d.l2l_channel))
+
+    rows = [["monolithic", f"{monolithic_full.total_power_mw:.0f} (331)",
+             "-", "-", f"{monolithic_full.fmax_mhz:.0f}", "-"]]
+    for name, des in full_designs.items():
+        fc = des.fullchip
+        rows.append([
+            name,
+            f"{fc.total_power_mw:.0f} ({TABLE4[name]['power_mw']:.0f})",
+            round(fc.intra_tile_power_mw, 1),
+            round(fc.inter_tile_power_mw, 1),
+            f"{fc.system_fmax_mhz:.0f}",
+            "yes" if fc.offchip_timing_met else "NO",
+        ])
+    text = format_table(
+        ["design", "total mW (paper)", "intra-tile mW", "inter-tile mW",
+         "system Fmax", "links meet T"],
+        rows, title="Full-chip roll-up (Section VII-H)")
+    write_result("fullchip_summary", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    powers = {n: d.fullchip.total_power_mw
+              for n, d in full_designs.items()}
+
+    # Paper power ordering: si3d < glass3d < si2.5d < shinko < glass25d
+    # < apx (Table IV row).  Check the endpoints and glass3d's win among
+    # interposers.
+    interposers = {k: v for k, v in powers.items() if k != "silicon_3d"}
+    assert min(interposers, key=interposers.get) == "glass_3d"
+    assert max(interposers, key=interposers.get) in ("apx", "glass_25d")
+    assert powers["silicon_3d"] == min(powers.values())
+
+    # Totals within 20% of the paper.
+    for name, p in powers.items():
+        assert p == pytest.approx(TABLE4[name]["power_mw"], rel=0.20)
+
+    # All designs meet the pipelined one-cycle link budget at ~700 MHz.
+    for d in full_designs.values():
+        assert d.fullchip.offchip_timing_met
+        assert d.fullchip.system_fmax_mhz > 600

@@ -1,0 +1,35 @@
+"""Abstract headline claims: paper vs reproduction (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import CLAIMS
+from repro.core.claims import PAPER_CLAIMS, compute_claims
+from repro.core.report import format_table
+
+
+def test_headline_claims(benchmark, full_designs):
+    claims = benchmark(lambda: compute_claims(
+        full_designs["glass_3d"], full_designs["glass_25d"],
+        full_designs["silicon_25d"]))
+
+    measured = claims.as_dict()
+    rows = [[k, PAPER_CLAIMS[k], round(v, 2)]
+            for k, v in measured.items()]
+    text = format_table(["claim", "paper", "measured"], rows,
+                        title="Headline claims (abstract)")
+    write_result("headline_claims", text)
+
+    # 2.6X area reduction (interposer footprint).
+    assert measured["area_reduction_x"] == pytest.approx(2.6, rel=0.2)
+    # ~21X interposer wirelength reduction vs silicon 2.5D.
+    assert measured["wirelength_reduction_x"] > 8
+    # Full-chip power saving, paper 17.72% — direction + magnitude band.
+    assert 5 < measured["fullchip_power_saving_pct"] < 30
+    # SI gain: glass 3D eye height above the glass 2.5D lateral link.
+    assert measured["signal_integrity_gain_pct"] > 0
+    # ~10X PI improvement vs silicon.
+    assert measured["power_integrity_improvement_x"] == pytest.approx(
+        7.6, rel=0.3)
+    # Thermal penalty: positive, tens of percent.
+    assert 10 < measured["thermal_increase_pct"] < 200

@@ -1,0 +1,52 @@
+"""Tape-out sign-off matrix at paper scale (extension bench)."""
+
+import pytest
+
+from conftest import write_result
+from repro.core.report import format_table
+from repro.core.signoff import run_signoff
+
+
+def test_signoff_matrix(benchmark, full_designs):
+    glass3d = full_designs["glass_3d"]
+    benchmark.pedantic(lambda: run_signoff(glass3d, grid_n=24),
+                       rounds=1, iterations=1)
+
+    reports = {name: run_signoff(d) for name, d in full_designs.items()}
+    check_names = ["timing", "electromigration", "warpage",
+                   "electrothermal", "interposer_drc", "cost"]
+    rows = []
+    for name, rep in reports.items():
+        row = [name]
+        for check in check_names:
+            try:
+                row.append("PASS" if rep.check(check).passed else "FAIL")
+            except KeyError:
+                row.append("-")
+        row.append("READY" if rep.tapeout_ready else "blocked")
+        rows.append(row)
+    text = format_table(["design"] + check_names + ["verdict"], rows,
+                        title="Tape-out sign-off matrix (paper scale)")
+    write_result("signoff_matrix", text)
+
+    for name, rep in reports.items():
+        # Physical reliability clears everywhere at the paper's 0.38 W.
+        assert rep.check("electromigration").passed, name
+        assert rep.check("electrothermal").passed, name
+        if rep.drc is not None:
+            assert rep.check("interposer_drc").passed, name
+
+    # Warpage: glass and silicon pass; the organics' 17-20 ppm/K CTE is
+    # exactly the reliability concern the paper raises.
+    assert reports["glass_25d"].check("warpage").passed
+    assert reports["silicon_25d"].check("warpage").passed
+
+    # Timing closes at paper scale for every design.
+    for name, rep in reports.items():
+        assert rep.check("timing").passed, name
+
+    # Glass 3D packaging cost sits between 2.5D and TSV-stack costs.
+    g3 = reports["glass_3d"].cost.cost_per_good_system
+    g25 = reports["glass_25d"].cost.cost_per_good_system
+    si3 = reports["silicon_3d"].cost.cost_per_good_system
+    assert g25 < g3 < si3

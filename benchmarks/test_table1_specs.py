@@ -1,0 +1,41 @@
+"""Table I — interposer specifications.
+
+Table I is input data (the manufactured technologies' design rules), so
+this bench regenerates it from the spec registry, verifies the values the
+paper states, and benchmarks the spec machinery.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.report import format_comparison
+from repro.tech.interposer import ALL_SPECS, get_spec, spec_names
+
+
+def test_table1_regeneration(benchmark):
+    specs = benchmark(lambda: [get_spec(n) for n in spec_names()])
+    rows = {
+        "# metal layers": [s.metal_layers for s in specs],
+        "metal thickness (um)": [s.metal_thickness_um for s in specs],
+        "dielectric thickness (um)": [s.dielectric_thickness_um
+                                      for s in specs],
+        "dielectric constant": [s.dielectric.eps_r for s in specs],
+        "min wire W/S (um)": [f"{s.min_wire_width_um}/"
+                              f"{s.min_wire_space_um}" for s in specs],
+        "via size (um)": [s.via_size_um for s in specs],
+        "bump size (um)": [s.bump_size_um for s in specs],
+        "ubump pitch (um)": [s.microbump_pitch_um for s in specs],
+    }
+    text = format_comparison(rows, [s.name for s in specs],
+                             title="Table I: interposer specifications")
+    write_result("table1_specs", text)
+
+    # Spot-check the paper's stated values.
+    glass = get_spec("glass_25d")
+    assert glass.metal_layers == 7
+    assert glass.microbump_pitch_um == 35.0
+    assert get_spec("glass_3d").metal_layers == 3
+    assert get_spec("silicon_25d").min_wire_width_um == pytest.approx(0.4)
+    assert get_spec("apx").via_size_um == 32.0
+    for s in ALL_SPECS:
+        s.validate()

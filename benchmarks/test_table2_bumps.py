@@ -1,0 +1,42 @@
+"""Table II — chiplet bump usage and area comparison."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import TABLE2
+from repro.chiplet.bumps import plan_for_design
+from repro.core.report import format_table
+from repro.tech.interposer import get_spec, spec_names
+
+
+def test_table2_regeneration(benchmark):
+    def build():
+        return {name: (plan_for_design(get_spec(name), "logic",
+                                       cell_area_um2=465_000),
+                       plan_for_design(get_spec(name), "memory",
+                                       cell_area_um2=485_000))
+                for name in spec_names()}
+
+    plans = benchmark(build)
+    rows = []
+    for name, (lp, mp) in plans.items():
+        p_lpg, p_lw, p_mpg, p_mw = TABLE2[name]
+        rows.append([name, lp.signal_bumps, f"{lp.pg_bumps} ({p_lpg})",
+                     f"{lp.width_mm:.2f} ({p_lw})", mp.signal_bumps,
+                     f"{mp.pg_bumps} ({p_mpg})",
+                     f"{mp.width_mm:.2f} ({p_mw})"])
+    text = format_table(
+        ["design", "logic sig", "logic P/G (paper)",
+         "logic W mm (paper)", "mem sig", "mem P/G (paper)",
+         "mem W mm (paper)"],
+        rows, title="Table II: bump usage and chiplet area")
+    write_result("table2_bumps", text)
+
+    for name, (lp, mp) in plans.items():
+        p_lpg, p_lw, p_mpg, p_mw = TABLE2[name]
+        assert lp.signal_bumps == 299
+        assert mp.signal_bumps == 231
+        assert lp.pg_bumps == p_lpg
+        assert lp.width_mm == pytest.approx(p_lw, abs=0.04)
+        assert mp.width_mm == pytest.approx(p_mw, abs=0.07)
+        assert abs(mp.pg_bumps - p_mpg) <= 4

@@ -1,0 +1,81 @@
+"""Table III — chiplet power/performance comparison (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import TABLE3
+from repro.chiplet.design import build_chiplet
+from repro.core.report import format_table
+from repro.tech.interposer import GLASS_25D
+
+
+def test_table3_regeneration(benchmark, full_designs):
+    # The full-scale chiplets come from the session fixture; benchmark
+    # the implementation kernel at reduced scale so timing is meaningful.
+    benchmark.pedantic(
+        lambda: build_chiplet("memory", GLASS_25D, scale=0.02, seed=99),
+        rounds=2, iterations=1)
+
+    rows = []
+    for name, design in full_designs.items():
+        for kind, result in (("logic", design.logic),
+                             ("memory", design.memory)):
+            paper = TABLE3[name][kind]
+            rows.append([
+                f"{name}/{kind}",
+                f"{result.fmax_mhz:.0f} ({paper['fmax']})",
+                f"{result.cell_count} ({paper['cells']})",
+                f"{100 * result.cell_utilization:.1f} "
+                f"({paper['util_pct']})",
+                f"{result.wirelength_m:.2f} ({paper['wl_m']})",
+                f"{result.power.total_mw:.1f} ({paper['power_mw']})",
+                f"{result.power.internal_mw:.1f} "
+                f"({paper['internal_mw']})",
+                f"{result.power.switching_mw:.1f} "
+                f"({paper['switching_mw']})",
+                f"{result.power.leakage_mw:.2f} ({paper['leakage_mw']})",
+            ])
+    text = format_table(
+        ["chiplet", "Fmax (paper)", "cells (paper)", "util% (paper)",
+         "WL m (paper)", "P mW (paper)", "int (paper)", "sw (paper)",
+         "leak (paper)"],
+        rows, title="Table III: chiplet PPA, measured (paper)")
+    write_result("table3_chiplet_ppa", text)
+
+    for name, design in full_designs.items():
+        for kind, result in (("logic", design.logic),
+                             ("memory", design.memory)):
+            paper = TABLE3[name][kind]
+            # Shape tolerances: cells within 2%, WL within 35% (logic) /
+            # 45% (memory — the synthetic SRAM-array locality is looser
+            # than a compiled macro's), power within 30%, Fmax within
+            # 15%, leakage within 20%.  The Silicon 3D memory die gets
+            # the loosest WL band: the paper shortens it further with
+            # TSV-array pin placement, which this flow does not model
+            # (see EXPERIMENTS.md).
+            if (name, kind) == ("silicon_3d", "memory"):
+                wl_tol = 0.7
+            elif kind == "memory":
+                wl_tol = 0.45
+            else:
+                wl_tol = 0.35
+            assert result.cell_count == pytest.approx(paper["cells"],
+                                                      rel=0.02)
+            assert result.wirelength_m == pytest.approx(paper["wl_m"],
+                                                        rel=wl_tol)
+            assert result.power.total_mw == pytest.approx(
+                paper["power_mw"], rel=0.30)
+            assert result.fmax_mhz == pytest.approx(paper["fmax"],
+                                                    rel=0.15)
+            assert result.power.leakage_mw == pytest.approx(
+                paper["leakage_mw"], rel=0.20)
+
+
+def test_table3_congestion_inversion(benchmark, full_designs):
+    """The paper's subtle finding: the glass logic die is smaller than
+    silicon's yet routes MORE wire (congestion detours)."""
+    glass = full_designs["glass_25d"].logic
+    silicon = full_designs["silicon_25d"].logic
+    benchmark(lambda: glass.route.total_wirelength_m())
+    assert glass.footprint_mm < silicon.footprint_mm
+    assert glass.wirelength_m > silicon.wirelength_m

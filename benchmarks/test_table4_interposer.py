@@ -1,0 +1,92 @@
+"""Table IV — interposer design results (paper-scale)."""
+
+import pytest
+
+from conftest import write_result
+from paper_data import TABLE4
+from repro.core.report import format_table
+from repro.interposer.routing import route_interposer
+
+
+def test_table4_regeneration(benchmark, full_designs, monolithic_full):
+    # Benchmark a small routing kernel (the Table IV workhorse).
+    glass3d = full_designs["glass_3d"]
+    benchmark.pedantic(
+        lambda: route_interposer(
+            glass3d.placement,
+            glass3d.logic.bump_plan.signal_positions(),
+            glass3d.memory.bump_plan.signal_positions(),
+            l2m_signals=30, l2l_signals=10),
+        rounds=2, iterations=1)
+
+    rows = [["monolithic", "-", "-", "-", "-", "-",
+             f"{monolithic_full.footprint_mm}x"
+             f"{monolithic_full.footprint_mm} (1.6x1.6)",
+             f"{monolithic_full.total_power_mw:.0f} (330.9)", "-", "-",
+             "-"]]
+    for name, d in full_designs.items():
+        paper = TABLE4[name]
+        row4 = d.table4_row()
+        if d.route is not None:
+            routed = d.route.routed_nets()
+            lengths = [n.length_mm for n in routed]
+            wl = (f"{sum(lengths):.0f} ({paper['total_wl']})")
+            avg = (f"{sum(lengths) / len(lengths):.2f} "
+                   f"({paper['avg_wl']})")
+            mx = f"{max(lengths):.2f} ({paper['max_wl']})"
+            layers = (f"{d.route.signal_layers_used}+2 "
+                      f"({paper['layers']})")
+            vias = f"{d.route.total_vias()} ({paper['vias']})"
+        else:
+            wl = avg = mx = layers = vias = "-"
+        fp = (f"{d.placement.width_mm:.2f}x{d.placement.height_mm:.2f} "
+              f"({paper['footprint'][0]}x{paper['footprint'][1]})")
+        power = (f"{d.fullchip.total_power_mw:.0f} "
+                 f"({paper['power_mw']:.0f})")
+        pdn = (f"{row4.get('pdn_impedance_ohm', '-')} "
+               f"({paper.get('pdn_ohm', '-')})")
+        settle = (f"{row4.get('settling_time_us', '-')} "
+                  f"({paper.get('settle_us', '-')})")
+        ir = f"{row4.get('ir_drop_mv', '-')} ({paper.get('ir_mv', '-')})"
+        rows.append([name, layers, wl, avg, mx, vias, fp, power, pdn,
+                     settle, ir])
+    text = format_table(
+        ["design", "layers", "total WL mm", "avg WL", "max WL", "vias",
+         "footprint", "power mW", "PDN ohm", "settle us", "IR mV"],
+        rows, title="Table IV: interposer results, measured (paper)")
+    write_result("table4_interposer", text)
+
+    # --- shape assertions ---------------------------------------------- #
+    g3 = full_designs["glass_3d"]
+    g25 = full_designs["glass_25d"]
+    si = full_designs["silicon_25d"]
+
+    # Signal layer usage matches the paper exactly.
+    assert g3.route.signal_layers_used == 1
+    assert si.route.signal_layers_used == 2
+    assert g25.route.signal_layers_used == 5
+
+    # Wirelength collapse of embedded stacking.
+    g3_wl = sum(n.length_mm for n in g3.route.routed_nets())
+    si_wl = sum(n.length_mm for n in si.route.routed_nets())
+    assert si_wl / g3_wl > 8
+
+    # Footprints within 15% of the paper.
+    for name, d in full_designs.items():
+        pw, ph = TABLE4[name]["footprint"]
+        assert d.placement.width_mm == pytest.approx(pw, rel=0.15)
+        assert d.placement.height_mm == pytest.approx(ph, rel=0.15)
+
+    # PDN impedance matches Table IV (calibrated anchor).
+    for name in ("glass_25d", "glass_3d", "silicon_25d", "shinko", "apx"):
+        assert (full_designs[name].pdn_impedance.z_at_1ghz_ohm
+                == pytest.approx(TABLE4[name]["pdn_ohm"], rel=0.1))
+
+    # IR drop in the paper's 17-27 mV band.
+    for name in ("glass_25d", "glass_3d", "silicon_25d", "shinko", "apx"):
+        assert 10 < full_designs[name].ir_drop.worst_drop_mv < 35
+
+    # Glass 3D has the lowest full-chip power among interposer designs.
+    powers = {n: d.fullchip.total_power_mw
+              for n, d in full_designs.items() if n != "silicon_3d"}
+    assert min(powers, key=powers.get) == "glass_3d"

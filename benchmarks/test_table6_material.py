@@ -1,0 +1,51 @@
+"""Table VI — material impact on a fixed 400 um logic-to-logic line.
+
+The paper fixes the wirelength at 400 um (plus a built-up via pair) and
+compares propagation delay and power across interposer materials: APX's
+thick wide wires win, silicon's narrow wires lose.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.core.report import format_table
+from repro.si.channel import Channel, measure_channel
+from repro.si.tline import line_for_spec
+from repro.tech.interconnect3d import tgv_model
+from repro.tech.interposer import (APX, GLASS_25D, SHINKO, SILICON_25D)
+
+LENGTH_UM = 400.0
+
+
+def _measure(spec):
+    line = line_for_spec(spec)
+    ch = Channel(f"{spec.name}/400um", line=line, length_um=LENGTH_UM)
+    return measure_channel(ch)
+
+
+def test_table6_regeneration(benchmark):
+    reports = benchmark(lambda: {s.name: _measure(s) for s in
+                                 (GLASS_25D, SILICON_25D, SHINKO, APX)})
+    rows = [[name, round(r.interconnect_delay_ps, 3),
+             round(r.interconnect_power_uw, 2)]
+            for name, r in reports.items()]
+    text = format_table(
+        ["technology", "delay (ps)", "power (uW)"],
+        rows,
+        title="Table VI: fixed 400 um line, delay/power by material")
+    write_result("table6_material", text)
+
+    delays = {k: v.interconnect_delay_ps for k, v in reports.items()}
+    powers = {k: v.interconnect_power_uw for k, v in reports.items()}
+
+    # Paper ordering: silicon worst (narrow resistive wires).
+    assert delays["silicon_25d"] == max(delays.values())
+    assert powers["silicon_25d"] == max(powers.values())
+    # APX (6 um wide, 6 um thick) has the least resistive line.
+    assert (line_for_spec(APX).r_per_m
+            < line_for_spec(SHINKO).r_per_m
+            < line_for_spec(SILICON_25D).r_per_m)
+    # Shinko and glass are close (same line width); glass's larger via
+    # adds a little capacitance.
+    assert delays["glass_25d"] == pytest.approx(delays["shinko"],
+                                                rel=0.6)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: run the co-design flow for one design point.
+
+Implements the glass 3D ("5.5D") design — the paper's headline
+configuration — end to end at reduced netlist scale and prints its PPA,
+SI, PI, and thermal summary.
+
+Usage::
+
+    python examples/quickstart.py [design] [scale]
+
+    design: one of glass_25d, glass_3d, silicon_25d, silicon_3d,
+            shinko, apx (default glass_3d)
+    scale:  netlist scale, 1.0 = paper-size (default 0.1)
+"""
+
+import sys
+
+from repro import run_design, spec_names
+from repro.core.report import format_table
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else "glass_3d"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    if design not in spec_names():
+        raise SystemExit(f"unknown design {design!r}; "
+                         f"choose from {spec_names()}")
+
+    print(f"Running co-design flow for {design} (scale={scale})...\n")
+    result = run_design(design, scale=scale)
+
+    print(format_table(
+        ["chiplet", "Fmax (MHz)", "footprint (mm)", "cells", "WL (m)",
+         "power (mW)"],
+        [[kind,
+          round(c.fmax_mhz, 1),
+          c.footprint_mm,
+          c.cell_count,
+          round(c.wirelength_m, 2),
+          round(c.power.total_mw, 1)]
+         for kind, c in (("logic", result.logic),
+                         ("memory", result.memory))],
+        title="Chiplet implementation (Table III view)"))
+    print()
+
+    row = result.table4_row()
+    print(format_table(["metric", "value"],
+                       [[k, v] for k, v in row.items()],
+                       title="Interposer design (Table IV view)"))
+    print()
+
+    rows = result.table5_rows()
+    print(format_table(
+        ["link", "IO delay (ps)", "wire delay (ps)", "IO power (uW)",
+         "wire power (uW)"],
+        [[name, r["io_delay_ps"], r["interconnect_delay_ps"],
+          r["io_power_uw"], r["interconnect_power_uw"]]
+         for name, r in rows.items()],
+        title="Worst-case links (Table V view)"))
+    print()
+
+    if result.l2m_eye is not None:
+        print(f"L2M eye: {result.l2m_eye.eye_width_ns:.3f} ns x "
+              f"{result.l2m_eye.eye_height_v:.3f} V")
+    if result.thermal is not None:
+        for name, die in sorted(result.thermal.dies.items()):
+            print(f"{name}: peak {die.peak_c:.1f} C")
+    fc = result.fullchip
+    print(f"\nFull chip: {fc.total_power_mw:.1f} mW at "
+          f"{fc.system_fmax_mhz:.0f} MHz "
+          f"(links {'meet' if fc.offchip_timing_met else 'LIMIT'} timing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Interposer parameter sensitivity study.
+
+Sweeps the three dominant glass-interposer knobs — micro-bump pitch,
+RDL wire width, and build-up dielectric thickness — and reports the
+elasticity of area, delay, and PDN impedance to each.  This is the
+design-space exploration the journal version of the paper motivates.
+
+Usage::
+
+    python examples/sensitivity_study.py
+"""
+
+from repro.core.report import format_table
+from repro.studies import (sweep_bump_pitch, sweep_dielectric_thickness,
+                           sweep_wire_width)
+from repro.tech import GLASS_25D
+
+
+def main() -> None:
+    pitch = sweep_bump_pitch(GLASS_25D, [20, 25, 30, 35, 45, 55])
+    rows = [[p.value,
+             round(p.metrics["logic_die_mm"], 2),
+             round(p.metrics["memory_die_mm"], 2),
+             round(p.metrics["interposer_area_mm2"], 2)]
+            for p in pitch.points]
+    print(format_table(
+        ["ubump pitch (um)", "logic die (mm)", "mem die (mm)",
+         "interposer (mm^2)"],
+        rows, title="Bump-pitch sweep (glass 2.5D)"))
+    print(f"area elasticity vs pitch: "
+          f"{pitch.sensitivity('interposer_area_mm2'):.2f}\n")
+
+    width = sweep_wire_width(GLASS_25D, [1.0, 2.0, 3.0, 4.0, 6.0],
+                             length_um=3000)
+    rows = [[p.value,
+             round(p.metrics["r_ohm_per_mm"], 1),
+             round(p.metrics["delay_ps"], 2),
+             round(p.metrics["power_uw"], 1)]
+            for p in width.points]
+    print(format_table(
+        ["wire W=S (um)", "R (ohm/mm)", "delay (ps)", "power (uW)"],
+        rows, title="Wire-width sweep, 3 mm line"))
+    print()
+
+    diel = sweep_dielectric_thickness(GLASS_25D,
+                                      [5.0, 10.0, 15.0, 25.0, 40.0],
+                                      length_um=3000)
+    rows = [[p.value,
+             round(p.metrics["line_cap_ff_per_mm"], 1),
+             round(p.metrics["delay_ps"], 2),
+             round(p.metrics["pdn_z_1ghz_ohm"], 2)]
+            for p in diel.points]
+    print(format_table(
+        ["dielectric (um)", "C (fF/mm)", "delay (ps)",
+         "PDN Z@1GHz (ohm)"],
+        rows, title="Dielectric-thickness sweep: the SI/PI trade"))
+    print("\nThicker dielectric lowers wire capacitance (better SI) but "
+          "pushes the PDN\nplanes away from the chiplets (worse PI) — "
+          "the trade the paper's 15 um\nglass stackup balances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Signal-integrity design-space sweep.
+
+Goes beyond the paper's fixed operating point: sweeps interconnect length
+and data rate for each interposer technology, reporting where each
+channel's eye collapses — the kind of question a designer adopting glass
+interposers would ask next.
+
+Usage::
+
+    python examples/signal_integrity_sweep.py
+"""
+
+from repro.core.report import format_table
+from repro.si import (Channel, coupled_line_for_spec, line_for_spec,
+                      measure_channel, simulate_eye)
+from repro.tech import APX, GLASS_25D, SILICON_25D, get_spec
+
+
+def length_sweep() -> None:
+    """Delay/power vs length for each technology (Table VI generalized)."""
+    lengths = [400, 1000, 2500, 5000, 10000]
+    rows = []
+    for spec in (GLASS_25D, SILICON_25D, APX):
+        line = line_for_spec(spec)
+        for length in lengths:
+            rep = measure_channel(
+                Channel(f"{spec.name}/{length}", line=line,
+                        length_um=length))
+            rows.append([spec.display_name, length,
+                         round(rep.interconnect_delay_ps, 2),
+                         round(rep.interconnect_power_uw, 1)])
+    print(format_table(
+        ["technology", "length (um)", "delay (ps)", "power (uW)"],
+        rows, title="Interconnect scaling sweep"))
+    print()
+
+
+def data_rate_sweep() -> None:
+    """Eye openings vs data rate: where does each channel collapse?"""
+    rates = [0.7, 2.0, 5.0, 10.0]
+    rows = []
+    for spec in (GLASS_25D, SILICON_25D, APX):
+        line = line_for_spec(spec)
+        coupled = coupled_line_for_spec(spec)
+        for rate in rates:
+            eye = simulate_eye(line=line, length_um=3000,
+                               coupled=coupled, num_bits=48,
+                               data_rate_gbps=rate)
+            rows.append([spec.display_name, rate,
+                         round(eye.eye_width_ns, 3),
+                         round(eye.eye_height_v, 3),
+                         "open" if eye.is_open else "CLOSED"])
+    print(format_table(
+        ["technology", "rate (Gbps)", "eye width (ns)",
+         "eye height (V)", "status"],
+        rows, title="Data-rate sweep on a 3 mm channel"))
+
+
+def main() -> None:
+    length_sweep()
+    data_rate_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Thermal study: embedded-die hotspot and cooling sensitivity.
+
+Reproduces the Fig. 17/18 analysis and extends it: how does the glass 3D
+embedded memory hotspot respond to board-side cooling and to the memory
+chiplet's power — the thermal headroom question the paper's conclusion
+raises.
+
+Usage::
+
+    python examples/thermal_study.py
+"""
+
+import numpy as np
+
+from repro.chiplet.bumps import plan_for_design
+from repro.core.report import format_table
+from repro.interposer import place_dies
+from repro.tech import (GLASS_25D, GLASS_3D, SILICON_25D, SILICON_3D,
+                        SHINKO, APX)
+from repro.thermal import analyze_package_thermal
+from repro.thermal import model as thermal_model
+
+POWER = {"tile0_logic": 0.142, "tile0_memory": 0.046,
+         "tile1_logic": 0.142, "tile1_memory": 0.046}
+
+
+def placement_for(spec):
+    lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+    mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+    return place_dies(spec, lp, mp)
+
+
+def fig17_comparison() -> None:
+    rows = []
+    for spec in (GLASS_25D, GLASS_3D, SILICON_25D, SILICON_3D, SHINKO,
+                 APX):
+        rep = analyze_package_thermal(placement_for(spec), POWER)
+        rows.append([spec.display_name,
+                     round(rep.die_peak("tile0_logic"), 1),
+                     round(rep.die_peak("tile0_memory"), 1),
+                     round(rep.peak_c, 1)])
+    print(format_table(
+        ["design", "logic peak (C)", "memory peak (C)", "package (C)"],
+        rows, title="Chiplet thermal comparison (Fig. 17 view)"))
+    print()
+
+
+def memory_power_sweep() -> None:
+    """How much L3 power can the glass cavity absorb?"""
+    placement = placement_for(GLASS_3D)
+    rows = []
+    for factor in (1.0, 2.0, 4.0, 8.0):
+        power = dict(POWER)
+        power["tile0_memory"] *= factor
+        power["tile1_memory"] *= factor
+        rep = analyze_package_thermal(placement, power)
+        rows.append([round(0.046 * factor * 1e3, 1),
+                     round(rep.die_peak("tile0_memory"), 1),
+                     round(rep.die_peak("tile0_logic"), 1)])
+    print(format_table(
+        ["memory power (mW)", "memory peak (C)", "logic peak (C)"],
+        rows, title="Glass 3D embedded-die power headroom"))
+    print()
+
+
+def surface_map() -> None:
+    """ASCII rendering of the Fig. 18 surface map for glass 3D."""
+    rep = analyze_package_thermal(placement_for(GLASS_3D), POWER)
+    surface = rep.surface_map_c
+    lo, hi = surface.min(), surface.max()
+    shades = " .:-=+*#%@"
+    print(f"Glass 3D top-surface map ({lo:.1f}..{hi:.1f} C):")
+    step = max(1, surface.shape[0] // 22)
+    for row in surface[::step]:
+        line = ""
+        for v in row[::step]:
+            idx = int((v - lo) / max(hi - lo, 1e-9) * (len(shades) - 1))
+            line += shades[idx] * 2
+        print("  " + line)
+
+
+def wakeup_transient() -> None:
+    """How fast does the embedded die heat when the L3 wakes up?"""
+    from repro.thermal import simulate_thermal_transient
+    from repro.thermal.model import build_package_grid
+    placement = placement_for(GLASS_3D)
+    grid = build_package_grid(placement, POWER, grid_n=28)
+    die = placement.die(0, "memory")
+    gx = int((die.x_mm + die.width_mm / 2) / placement.width_mm * 28)
+    gy = int((die.y_mm + die.width_mm / 2) / placement.height_mm * 28)
+    res = simulate_thermal_transient(
+        grid, t_stop=0.6, dt=0.004,
+        probes={"embedded_mem": (1, gy, gx)},
+        power_scale=lambda t: 1.0 if t > 0.05 else 0.0)
+    tau = res.time_constant_s("embedded_mem")
+    wave = res.probe("embedded_mem")
+    print(f"Embedded-die wake-up: {wave[0]:.1f} -> {wave[-1]:.1f} C, "
+          f"time constant ~{tau * 1e3:.0f} ms")
+    print()
+
+
+def electrothermal_loop() -> None:
+    """Leakage-temperature convergence for the glass 3D design."""
+    from repro.thermal import solve_electrothermal
+    placement = placement_for(GLASS_3D)
+    dyn = {k: v * 0.95 for k, v in POWER.items()}
+    leak = {k: v * 0.05 for k, v in POWER.items()}
+    result = solve_electrothermal(placement, dyn, leak, grid_n=28)
+    print(f"Electrothermal loop: converged={result.converged} in "
+          f"{result.iterations} iterations, leakage "
+          f"{result.leakage_uplift_pct:+.1f}% at temperature")
+    print()
+
+
+def main() -> None:
+    fig17_comparison()
+    memory_power_sweep()
+    wakeup_transient()
+    electrothermal_loop()
+    surface_map()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` works via PEP 660 when wheel/setuptools are recent; this
+shim keeps `python setup.py develop` working in fully offline environments.
+"""
+from setuptools import setup
+
+setup()

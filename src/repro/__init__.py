@@ -1,0 +1,28 @@
+"""Reproduction of "Glass Interposer Integration of Logic and Memory
+Chiplets: PPA and Power/Signal Integrity Benefits" (DAC 2023).
+
+An open chiplet/interposer co-design framework: synthetic OpenPiton
+chiplets in a 28nm-class technology, implemented on six packaging design
+points (glass 2.5D/3D, silicon 2.5D/3D, and two organic interposers),
+with PPA, signal-integrity, power-integrity, and thermal analysis built
+on from-scratch Python substrates (MNA circuit simulator, maze router,
+FD thermal solver).
+
+Quickstart::
+
+    from repro import run_design
+    result = run_design("glass_3d", scale=0.05)
+    print(result.table4_row())
+"""
+
+from .core import (DesignResult, HeadlineClaims, MonolithicResult,
+                   compute_claims, run_design, run_monolithic)
+from .tech import ALL_SPECS, get_spec, spec_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SPECS", "DesignResult", "HeadlineClaims", "MonolithicResult",
+    "__version__", "compute_claims", "get_spec", "run_design",
+    "run_monolithic", "spec_names",
+]

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro [design] [--scale S]``.
+
+Runs the co-design flow for one design point (or all of them) and prints
+the paper-style summary tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.flow import run_design, run_monolithic
+from .core.report import format_comparison, format_table
+from .tech.interposer import spec_names
+
+
+def _summarize(name: str, result) -> list:
+    return [
+        name,
+        f"{result.placement.width_mm:.2f}x{result.placement.height_mm:.2f}",
+        round(result.logic.fmax_mhz, 0),
+        round(result.fullchip.total_power_mw, 1),
+        round(result.l2m_channel.total_delay_ps, 1),
+        (round(result.pdn_impedance.z_at_1ghz_ohm, 2)
+         if result.pdn_impedance else "-"),
+        (round(result.thermal.peak_c, 1) if result.thermal else "-"),
+    ]
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Chiplet/interposer co-design flow (glass interposer "
+                    "paper reproduction)")
+    parser.add_argument("design", nargs="?", default="all",
+                        choices=spec_names() + ["all", "monolithic"],
+                        help="design point to run (default: all)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="netlist scale; 1.0 = paper size "
+                             "(default 0.1)")
+    parser.add_argument("--no-eyes", action="store_true",
+                        help="skip eye-diagram simulation")
+    parser.add_argument("--no-thermal", action="store_true",
+                        help="skip thermal analysis")
+    parser.add_argument("--signoff", action="store_true",
+                        help="run the tape-out checklist per design")
+    args = parser.parse_args(argv)
+
+    if args.design == "monolithic":
+        mono = run_monolithic(scale=args.scale)
+        print(format_table(
+            ["metric", "value"],
+            [["footprint (mm)", mono.footprint_mm],
+             ["area (mm^2)", mono.area_mm2],
+             ["power (mW)", round(mono.total_power_mw, 1)],
+             ["Fmax (MHz)", round(mono.fmax_mhz, 0)],
+             ["cells", mono.cell_count],
+             ["wirelength (m)", round(mono.wirelength_m, 2)]],
+            title="2D monolithic baseline"))
+        return 0
+
+    names = spec_names() if args.design == "all" else [args.design]
+    rows = []
+    signoffs = {}
+    for name in names:
+        print(f"running {name} (scale={args.scale})...",
+              file=sys.stderr)
+        result = run_design(name, scale=args.scale,
+                            with_eyes=not args.no_eyes,
+                            with_thermal=not args.no_thermal)
+        rows.append(_summarize(name, result))
+        if args.signoff:
+            from .core.signoff import run_signoff
+            signoffs[name] = run_signoff(result)
+    print(format_table(
+        ["design", "interposer (mm)", "logic Fmax", "power (mW)",
+         "L2M delay (ps)", "PDN Z (ohm)", "peak T (C)"],
+        rows, title="Co-design flow summary"))
+    for name, rep in signoffs.items():
+        print(f"\n{name} sign-off "
+              f"({'READY' if rep.tapeout_ready else 'blocked'}):")
+        for check, verdict, detail in rep.summary_rows():
+            print(f"  {check:18s} {verdict:4s}  {detail}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Chiplet physical design: bumps, floorplan, place, route, timing, power."""
+
+from .bumps import Bump, BumpPlan, plan_bumps, plan_for_design
+from .design import ChipletResult, build_chiplet
+from .floorplan import Floorplan, Rect, floorplan
+from .iodriver import AIB_DRIVER, AIB_DRIVER_X64, IoDriverSpec
+from .place import Placement, place, placement_stats
+from .power import PowerReport, analyze_power, power_density_map
+from .repeaters import (RepeaterPlan, WireRc, critical_length_um,
+                        plan_repeaters)
+from .route import (GlobalRoute, RoutedNet, WIRE_CAP_FF_PER_UM,
+                    congestion_map, global_route)
+from .timing import TimingReport, analyze_timing
+
+__all__ = [
+    "AIB_DRIVER", "AIB_DRIVER_X64", "Bump", "BumpPlan", "ChipletResult",
+    "Floorplan", "GlobalRoute", "IoDriverSpec", "Placement", "PowerReport",
+    "Rect", "RepeaterPlan", "RoutedNet", "TimingReport",
+    "WIRE_CAP_FF_PER_UM", "WireRc",
+    "analyze_power", "analyze_timing", "build_chiplet", "congestion_map",
+    "critical_length_um", "floorplan", "global_route", "place",
+    "placement_stats", "plan_bumps", "plan_repeaters",
+    "plan_for_design", "power_density_map",
+]

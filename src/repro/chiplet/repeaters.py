@@ -1,0 +1,139 @@
+"""Closed-form repeater (buffer) insertion for long on-die wires.
+
+The STA engine emulates implementation-tool behaviour with a sizing
+heuristic; this module provides the underlying physics explicitly: the
+classic optimal-repeater theory (Bakoglu).  For a distributed RC wire
+driven through repeaters of unit resistance ``Rb`` and capacitance
+``Cb``::
+
+    k_opt = L * sqrt(0.4 r c / (0.7 Rb Cb))        repeaters
+    h_opt = sqrt(Rb c / (r Cb))                    repeater size
+    t_opt = 2 L sqrt(0.7 Rb Cb 0.4 r c) + ...      delay, linear in L
+
+Used for ablation (how much does buffering buy per technology) and to
+justify the STA sizing model's linear-in-length regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tech.stdcell import CellLibrary, N28_LIB
+
+#: Distributed-wire delay coefficients (Elmore, step response).
+_WIRE_COEF = 0.4
+_GATE_COEF = 0.7
+
+
+@dataclass(frozen=True)
+class WireRc:
+    """Per-micron RC of an on-die wire.
+
+    Attributes:
+        r_ohm_per_um: Resistance per micron.
+        c_ff_per_um: Capacitance per micron.
+    """
+
+    r_ohm_per_um: float = 0.8
+    c_ff_per_um: float = 0.138
+
+    def __post_init__(self):
+        if self.r_ohm_per_um <= 0 or self.c_ff_per_um <= 0:
+            raise ValueError("wire RC must be positive")
+
+
+@dataclass
+class RepeaterPlan:
+    """Optimal repeater insertion for one wire.
+
+    Attributes:
+        length_um: Wire length.
+        num_repeaters: Inserted repeaters (0 = unbuffered is optimal).
+        repeater_size: Drive multiple of the unit inverter.
+        delay_ps: Total buffered delay.
+        unbuffered_delay_ps: Elmore delay with no repeaters.
+        delay_per_mm_ps: Asymptotic buffered delay per millimetre.
+    """
+
+    length_um: float
+    num_repeaters: int
+    repeater_size: float
+    delay_ps: float
+    unbuffered_delay_ps: float
+    delay_per_mm_ps: float
+
+    @property
+    def speedup(self) -> float:
+        """Unbuffered / buffered delay ratio."""
+        if self.delay_ps <= 0:
+            return 1.0
+        return self.unbuffered_delay_ps / self.delay_ps
+
+
+def plan_repeaters(length_um: float, wire: WireRc = WireRc(),
+                   library: Optional[CellLibrary] = None) -> RepeaterPlan:
+    """Optimal repeater insertion for a wire of the given length.
+
+    Unit repeater parameters come from the library's INV_X1 (drive
+    resistance and input capacitance).
+
+    Args:
+        length_um: Wire length in microns.
+        wire: Per-micron wire parasitics.
+        library: Cell library (defaults to N28).
+    """
+    if length_um <= 0:
+        raise ValueError("length must be positive")
+    lib = library or N28_LIB
+    inv = lib.get("INV_X1")
+    rb = inv.drive_res_ohm            # ohm
+    cb = inv.input_cap_ff             # fF
+    r = wire.r_ohm_per_um
+    c = wire.c_ff_per_um
+
+    # Unbuffered Elmore delay: 0.4 r c L^2 (+ driver charging the wire).
+    unbuffered = (_WIRE_COEF * r * c * length_um ** 2) * 1e-3 \
+        + rb * c * length_um * 1e-3
+
+    k_opt = length_um * math.sqrt(
+        (_WIRE_COEF * r * c) / (_GATE_COEF * rb * cb))
+    h_opt = math.sqrt((rb * c) / (r * cb))
+    k = max(0, int(round(k_opt)))
+
+    if k == 0:
+        return RepeaterPlan(length_um=length_um, num_repeaters=0,
+                            repeater_size=1.0, delay_ps=unbuffered,
+                            unbuffered_delay_ps=unbuffered,
+                            delay_per_mm_ps=_optimal_per_mm(r, c, rb, cb))
+
+    seg = length_um / (k + 1)
+    # Per-segment delay: driver (rb/h) charging (seg wire + next input
+    # h*cb) plus distributed wire term; in ps (ohm*fF*1e-3).
+    stage = ((rb / h_opt) * (c * seg + h_opt * cb)
+             + _WIRE_COEF * r * c * seg ** 2 * 1e0
+             + r * seg * h_opt * cb) * 1e-3
+    stage += inv.intrinsic_delay_ps
+    total = (k + 1) * stage
+    return RepeaterPlan(length_um=length_um, num_repeaters=k,
+                        repeater_size=h_opt,
+                        delay_ps=min(total, unbuffered),
+                        unbuffered_delay_ps=unbuffered,
+                        delay_per_mm_ps=_optimal_per_mm(r, c, rb, cb))
+
+
+def _optimal_per_mm(r: float, c: float, rb: float, cb: float) -> float:
+    """Asymptotic buffered-wire delay (ps per mm)."""
+    return 2.0 * math.sqrt(_GATE_COEF * rb * cb * _WIRE_COEF * r * c) \
+        * 1e-3 * 1000.0
+
+
+def critical_length_um(wire: WireRc = WireRc(),
+                       library: Optional[CellLibrary] = None) -> float:
+    """Length above which the first repeater helps (k_opt = 1)."""
+    lib = library or N28_LIB
+    inv = lib.get("INV_X1")
+    return math.sqrt((_GATE_COEF * inv.drive_res_ohm * inv.input_cap_ff)
+                     / (_WIRE_COEF * wire.r_ohm_per_um
+                        * wire.c_ff_per_um))

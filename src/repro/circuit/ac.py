@@ -1,0 +1,133 @@
+"""AC analyses: frequency sweeps and driving-point impedance extraction.
+
+The PDN impedance profile of Fig. 15 is a driving-point impedance sweep:
+inject a 1 A AC current at the chiplet power bumps and record the voltage.
+This module provides that sweep plus generic transfer-function sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .elements import Circuit
+from .mna import MnaStructure, Solution, assemble_ac, _robust_solve
+
+
+@dataclass
+class AcSweepResult:
+    """Frequency sweep of one complex quantity.
+
+    Attributes:
+        frequencies_hz: Sweep points.
+        values: Complex response, same length.
+    """
+
+    frequencies_hz: np.ndarray
+    values: np.ndarray
+
+    def magnitude(self) -> np.ndarray:
+        """|value| per sweep point."""
+        return np.abs(self.values)
+
+    def phase_deg(self) -> np.ndarray:
+        """Phase in degrees per sweep point."""
+        return np.angle(self.values, deg=True)
+
+    def at(self, frequency_hz: float) -> complex:
+        """Value at the sweep point nearest to ``frequency_hz``."""
+        idx = int(np.argmin(np.abs(self.frequencies_hz - frequency_hz)))
+        return complex(self.values[idx])
+
+    def peak_magnitude(self) -> Tuple[float, float]:
+        """(frequency, |value|) of the magnitude peak."""
+        mags = self.magnitude()
+        idx = int(np.argmax(mags))
+        return float(self.frequencies_hz[idx]), float(mags[idx])
+
+    def min_magnitude(self) -> Tuple[float, float]:
+        """(frequency, |value|) of the magnitude minimum."""
+        mags = self.magnitude()
+        idx = int(np.argmin(mags))
+        return float(self.frequencies_hz[idx]), float(mags[idx])
+
+
+def log_frequencies(f_start: float, f_stop: float,
+                    points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced sweep frequencies (inclusive of endpoints)."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    decades = np.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), n)
+
+
+def driving_point_impedance(circuit: Circuit, node: str,
+                            frequencies_hz: Sequence[float],
+                            reference: str = "0") -> AcSweepResult:
+    """Impedance seen looking into ``node`` (vs ``reference``) vs frequency.
+
+    A 1 A phasor is injected into ``node`` and the resulting node voltage
+    *is* the impedance.  Independent sources inside the circuit are
+    zeroed (V sources shorted via their branch equations with 0 RHS,
+    I sources opened) as linear AC analysis requires.
+
+    Args:
+        circuit: Circuit under test.
+        node: Observation/injection node name.
+        frequencies_hz: Frequencies to sweep.
+        reference: Return node (default: ground).
+    """
+    freqs = np.asarray(list(frequencies_hz), dtype=float)
+    if (freqs <= 0).any():
+        raise ValueError("AC frequencies must be positive")
+    values = np.zeros(len(freqs), dtype=complex)
+    for i, f in enumerate(freqs):
+        st, A, z = assemble_ac(circuit, 2 * np.pi * f)
+        z[:] = 0.0  # zero independent sources
+        ni = st.node(node)
+        if ni < 0:
+            raise ValueError("cannot probe impedance at ground")
+        z[ni] += 1.0
+        nr = st.node(reference)
+        if nr >= 0:
+            z[nr] -= 1.0
+        x = _robust_solve(A, z)
+        v = x[ni] - (x[nr] if nr >= 0 else 0.0)
+        values[i] = v
+    return AcSweepResult(frequencies_hz=freqs, values=values)
+
+
+def transfer_function(circuit: Circuit, source_name: str, out_node: str,
+                      frequencies_hz: Sequence[float],
+                      out_ref: str = "0") -> AcSweepResult:
+    """Voltage transfer ``V(out)/V(source)`` vs frequency.
+
+    The named voltage source is driven with a unit phasor; every other
+    independent source is zeroed.
+    """
+    freqs = np.asarray(list(frequencies_hz), dtype=float)
+    if (freqs <= 0).any():
+        raise ValueError("AC frequencies must be positive")
+    src_idx = None
+    for i, vs in enumerate(circuit.vsources):
+        if vs.name == source_name:
+            src_idx = i
+            break
+    if src_idx is None:
+        raise KeyError(f"no voltage source named {source_name!r}")
+    values = np.zeros(len(freqs), dtype=complex)
+    for i, f in enumerate(freqs):
+        st, A, z = assemble_ac(circuit, 2 * np.pi * f)
+        z[:] = 0.0
+        z[st.vsrc_offset + src_idx] = 1.0
+        x = _robust_solve(A, z)
+        no = st.node(out_node)
+        nr = st.node(out_ref)
+        v = (x[no] if no >= 0 else 0.0) - (x[nr] if nr >= 0 else 0.0)
+        values[i] = v
+    return AcSweepResult(frequencies_hz=freqs, values=values)

@@ -1,0 +1,224 @@
+"""Modified nodal analysis (MNA) assembly and DC/AC solution.
+
+The unknown vector is ``x = [node voltages | V-source currents |
+VCVS currents | inductor currents]``.  Inductors are always branch (group
+2) elements so that DC (where they are shorts) and AC/transient (where
+they have reactance) share one formulation, and so mutual inductance can
+be stamped directly between branch currents.
+
+Sign conventions:
+
+* Voltage source current flows from the positive terminal ``n1`` through
+  the source to ``n2`` (i.e. a positive current means the source is
+  delivering current out of ``n1``... measured *into* the source at n1).
+  Concretely: KCL rows get ``+i`` at ``n1`` and ``-i`` at ``n2``.
+* Current sources push current from ``n1`` to ``n2`` through the external
+  circuit: RHS gets ``-I`` at ``n1`` and ``+I`` at ``n2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.linalg
+
+from .elements import Circuit, is_ground
+
+
+@dataclass
+class MnaStructure:
+    """Index bookkeeping shared by all analyses of one circuit.
+
+    Attributes:
+        circuit: The source circuit.
+        n_nodes: Number of non-ground nodes.
+        vsrc_offset: Column/row offset of V-source branch currents.
+        vcvs_offset: Offset of VCVS branch currents.
+        ind_offset: Offset of inductor branch currents.
+        size: Total MNA system size.
+    """
+
+    circuit: Circuit
+    n_nodes: int
+    vsrc_offset: int
+    vcvs_offset: int
+    ind_offset: int
+    size: int
+
+    @classmethod
+    def of(cls, circuit: Circuit) -> "MnaStructure":
+        """Build the index structure for a circuit."""
+        n = circuit.num_nodes()
+        nv = len(circuit.vsources)
+        ne = len(circuit.vcvs)
+        nl = len(circuit.inductors)
+        return cls(circuit=circuit, n_nodes=n, vsrc_offset=n,
+                   vcvs_offset=n + nv, ind_offset=n + nv + ne,
+                   size=n + nv + ne + nl)
+
+    def node(self, name: str) -> int:
+        """MNA index of a node, or -1 for ground."""
+        if is_ground(name):
+            return -1
+        return self.circuit.node_index(name)
+
+
+def _stamp_conductance(A: np.ndarray, i: int, j: int, g) -> None:
+    """Stamp a two-terminal admittance between node indices i, j (-1=gnd)."""
+    if i >= 0:
+        A[i, i] += g
+    if j >= 0:
+        A[j, j] += g
+    if i >= 0 and j >= 0:
+        A[i, j] -= g
+        A[j, i] -= g
+
+
+def _stamp_branch(A: np.ndarray, st: MnaStructure, row: int, i: int,
+                  j: int) -> None:
+    """Stamp the incidence of a branch current at ``row`` between i and j."""
+    if i >= 0:
+        A[i, row] += 1.0
+        A[row, i] += 1.0
+    if j >= 0:
+        A[j, row] -= 1.0
+        A[row, j] -= 1.0
+
+
+def assemble_dc(circuit: Circuit, t: float = 0.0):
+    """Build the real DC MNA system ``A x = z`` with sources sampled at t.
+
+    Capacitors are open; inductors are shorts (branch with zero series
+    impedance).  Returns ``(structure, A, z)``.
+    """
+    st = MnaStructure.of(circuit)
+    A = np.zeros((st.size, st.size))
+    z = np.zeros(st.size)
+    _stamp_common(A, z, st, t)
+    # DC: inductor branch rows already enforce v1 - v2 = 0 (no -jwL term).
+    return st, A, z
+
+
+def assemble_ac(circuit: Circuit, omega: float):
+    """Build the complex AC MNA system at angular frequency ``omega``.
+
+    Independent sources contribute a unit (or their DC) phasor only when
+    the caller sets it; by convention here every V/I source's *AC
+    magnitude* is taken as its waveform value at t=0.  For network-
+    parameter extraction use :mod:`repro.circuit.twoport`, which manages
+    excitations explicitly.
+    """
+    if omega < 0:
+        raise ValueError("omega must be >= 0")
+    st = MnaStructure.of(circuit)
+    A = np.zeros((st.size, st.size), dtype=complex)
+    z = np.zeros(st.size, dtype=complex)
+    _stamp_common(A, z, st, 0.0)
+    for cap in circuit.capacitors:
+        i, j = st.node(cap.n1), st.node(cap.n2)
+        _stamp_conductance(A, i, j, 1j * omega * cap.capacitance)
+    for idx, ind in enumerate(circuit.inductors):
+        row = st.ind_offset + idx
+        A[row, row] -= 1j * omega * ind.inductance
+    for mut in circuit.mutuals:
+        p1 = st.ind_offset + circuit.inductor_position(mut.l1)
+        p2 = st.ind_offset + circuit.inductor_position(mut.l2)
+        l1 = circuit.inductors[circuit.inductor_position(mut.l1)].inductance
+        l2 = circuit.inductors[circuit.inductor_position(mut.l2)].inductance
+        m = mut.k * np.sqrt(l1 * l2)
+        A[p1, p2] -= 1j * omega * m
+        A[p2, p1] -= 1j * omega * m
+    return st, A, z
+
+
+def _stamp_common(A, z, st: MnaStructure, t: float) -> None:
+    """Stamps shared by DC and AC: R, sources, VCVS, branch incidences."""
+    circuit = st.circuit
+    for res in circuit.resistors:
+        _stamp_conductance(A, st.node(res.n1), st.node(res.n2),
+                           1.0 / res.resistance)
+    for idx, vs in enumerate(circuit.vsources):
+        row = st.vsrc_offset + idx
+        _stamp_branch(A, st, row, st.node(vs.n1), st.node(vs.n2))
+        z[row] += vs.waveform(t)
+    for idx, e in enumerate(circuit.vcvs):
+        row = st.vcvs_offset + idx
+        _stamp_branch(A, st, row, st.node(e.out_pos), st.node(e.out_neg))
+        cp, cn = st.node(e.ctrl_pos), st.node(e.ctrl_neg)
+        if cp >= 0:
+            A[row, cp] -= e.gain
+        if cn >= 0:
+            A[row, cn] += e.gain
+    for idx, ind in enumerate(circuit.inductors):
+        row = st.ind_offset + idx
+        _stamp_branch(A, st, row, st.node(ind.n1), st.node(ind.n2))
+    for cs in circuit.isources:
+        i, j = st.node(cs.n1), st.node(cs.n2)
+        value = cs.waveform(t)
+        if i >= 0:
+            z[i] -= value
+        if j >= 0:
+            z[j] += value
+
+
+class Solution:
+    """Wraps an MNA solution vector with named accessors."""
+
+    def __init__(self, structure: MnaStructure, x: np.ndarray):
+        self._st = structure
+        self._x = x
+
+    def voltage(self, node: str):
+        """Voltage of a node (0 for ground)."""
+        idx = self._st.node(node)
+        if idx < 0:
+            return 0.0 * self._x[0] if len(self._x) else 0.0
+        return self._x[idx]
+
+    def vsource_current(self, name: str):
+        """Current through a named voltage source (positive into n1)."""
+        for idx, vs in enumerate(self._st.circuit.vsources):
+            if vs.name == name:
+                return self._x[self._st.vsrc_offset + idx]
+        raise KeyError(f"no voltage source named {name!r}")
+
+    def inductor_current(self, name: str):
+        """Branch current of a named inductor."""
+        pos = self._st.circuit.inductor_position(name)
+        return self._x[self._st.ind_offset + pos]
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The raw MNA solution vector."""
+        return self._x
+
+
+def solve_dc(circuit: Circuit, t: float = 0.0) -> Solution:
+    """DC operating point with sources sampled at time ``t``."""
+    st, A, z = assemble_dc(circuit, t)
+    if st.size == 0:
+        return Solution(st, np.zeros(0))
+    x = _robust_solve(A, z)
+    return Solution(st, x)
+
+
+def solve_ac(circuit: Circuit, frequency_hz: float) -> Solution:
+    """Single-frequency AC solve (sources as phasors of their t=0 value)."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    st, A, z = assemble_ac(circuit, 2 * np.pi * frequency_hz)
+    if st.size == 0:
+        return Solution(st, np.zeros(0, dtype=complex))
+    x = _robust_solve(A, z)
+    return Solution(st, x)
+
+
+def _robust_solve(A: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """LU solve with a least-squares fallback for near-singular systems."""
+    try:
+        return scipy.linalg.solve(A, z)
+    except scipy.linalg.LinAlgError:
+        x, *_ = np.linalg.lstsq(A, z, rcond=None)
+        return x

@@ -1,0 +1,94 @@
+"""SPICE netlist export for :class:`~repro.circuit.elements.Circuit`.
+
+Any circuit the reproduction builds — channel testbenches, PDN
+equivalents, coupled bundles — can be dumped as a SPICE deck and re-run
+in ngspice/HSPICE for cross-checking.  Time-varying sources are emitted
+as PWL tables sampled from their waveforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO
+
+from .elements import Circuit, is_ground
+
+
+def _node(name: str) -> str:
+    return "0" if is_ground(name) else name.replace("/", "_")
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6e}"
+
+
+def write_spice(circuit: Circuit, path: str,
+                title: Optional[str] = None,
+                t_stop: Optional[float] = None,
+                pwl_points: int = 200) -> None:
+    """Write a circuit as a SPICE deck.
+
+    Args:
+        circuit: The circuit to export.
+        path: Output .sp path.
+        title: Deck title line (defaults to the circuit name).
+        t_stop: When given, sources are sampled as PWL over [0, t_stop]
+            and a ``.tran`` card is emitted; otherwise sources are
+            emitted at their t=0 DC value with a ``.op`` card.
+        pwl_points: PWL samples per source.
+    """
+    if t_stop is not None and t_stop <= 0:
+        raise ValueError("t_stop must be positive")
+    if pwl_points < 2:
+        raise ValueError("need at least two PWL points")
+    with open(path, "w") as fh:
+        _write(circuit, fh, title or circuit.name, t_stop, pwl_points)
+
+
+def _write(circuit: Circuit, fh: TextIO, title: str,
+           t_stop: Optional[float], pwl_points: int) -> None:
+    fh.write(f"* {title}\n")
+    fh.write(f"* exported by glassrepro ({circuit.summary()})\n")
+    for i, r in enumerate(circuit.resistors):
+        fh.write(f"R{i} {_node(r.n1)} {_node(r.n2)} "
+                 f"{_fmt(r.resistance)}\n")
+    for i, c in enumerate(circuit.capacitors):
+        fh.write(f"C{i} {_node(c.n1)} {_node(c.n2)} "
+                 f"{_fmt(c.capacitance)}\n")
+    for i, l in enumerate(circuit.inductors):
+        fh.write(f"L{i} {_node(l.n1)} {_node(l.n2)} "
+                 f"{_fmt(l.inductance)}\n")
+    # Mutual couplings reference inductor reference designators.
+    index_of = {l.name: f"L{i}" for i, l in enumerate(circuit.inductors)}
+    for i, k in enumerate(circuit.mutuals):
+        fh.write(f"K{i} {index_of[k.l1]} {index_of[k.l2]} "
+                 f"{_fmt(k.k)}\n")
+    for i, e in enumerate(circuit.vcvs):
+        fh.write(f"E{i} {_node(e.out_pos)} {_node(e.out_neg)} "
+                 f"{_node(e.ctrl_pos)} {_node(e.ctrl_neg)} "
+                 f"{_fmt(e.gain)}\n")
+    for i, v in enumerate(circuit.vsources):
+        fh.write(f"V{i} {_node(v.n1)} {_node(v.n2)} "
+                 f"{_source(v.waveform, t_stop, pwl_points)}\n")
+    for i, s in enumerate(circuit.isources):
+        fh.write(f"I{i} {_node(s.n1)} {_node(s.n2)} "
+                 f"{_source(s.waveform, t_stop, pwl_points)}\n")
+    if t_stop is not None:
+        fh.write(f".tran {_fmt(t_stop / 1000.0)} {_fmt(t_stop)}\n")
+    else:
+        fh.write(".op\n")
+    fh.write(".end\n")
+
+
+def _source(waveform, t_stop: Optional[float], pwl_points: int) -> str:
+    if t_stop is None:
+        return f"DC {_fmt(waveform(0.0))}"
+    v0 = waveform(0.0)
+    constant = all(
+        abs(waveform(t_stop * k / 8.0) - v0) < 1e-15 for k in range(9))
+    if constant:
+        return f"DC {_fmt(v0)}"
+    samples: List[str] = []
+    for k in range(pwl_points):
+        t = t_stop * k / (pwl_points - 1)
+        samples.append(f"{_fmt(t)} {_fmt(waveform(t))}")
+    return "PWL(" + " ".join(samples) + ")"

@@ -1,0 +1,106 @@
+"""Headline-claim computation (paper abstract / contribution list).
+
+The abstract quantifies glass-3D's advantages over conventional
+interposers: 2.6X area, 21X wirelength, 17.72% full-chip power, 64.7%
+signal integrity (eye height), 10X power integrity, at a ~35% thermal
+penalty.  This module computes the same ratios from flow results so the
+benchmark suite can check them against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .flow import DesignResult
+
+
+@dataclass
+class HeadlineClaims:
+    """The abstract's comparison ratios, as measured by this reproduction.
+
+    Each field notes the paper's value in its docstring; the benchmark
+    prints paper-vs-measured side by side.
+    """
+
+    #: Interposer area of the 2.5D reference over glass 3D (paper: 2.6X).
+    area_reduction_x: float
+    #: Routed interposer wirelength reference over glass 3D (paper: 21X,
+    #: computed against the silicon 2.5D interposer).
+    wirelength_reduction_x: float
+    #: Full-chip power saving of glass 3D vs glass 2.5D (paper: 17.72%).
+    fullchip_power_saving_pct: float
+    #: Eye-height gain of glass 3D over the glass 2.5D lateral link
+    #: (paper: 64.7%).
+    signal_integrity_gain_pct: float
+    #: PDN impedance ratio vs the silicon interposer (paper: ~10X).
+    power_integrity_improvement_x: float
+    #: Peak-temperature increase of glass 3D vs silicon 2.5D (paper: 35%).
+    thermal_increase_pct: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """All claim values keyed like PAPER_CLAIMS."""
+        return {
+            "area_reduction_x": self.area_reduction_x,
+            "wirelength_reduction_x": self.wirelength_reduction_x,
+            "fullchip_power_saving_pct": self.fullchip_power_saving_pct,
+            "signal_integrity_gain_pct": self.signal_integrity_gain_pct,
+            "power_integrity_improvement_x":
+                self.power_integrity_improvement_x,
+            "thermal_increase_pct": self.thermal_increase_pct,
+        }
+
+
+#: The paper's values for each claim, for comparison printing.
+PAPER_CLAIMS = {
+    "area_reduction_x": 2.6,
+    "wirelength_reduction_x": 21.0,
+    "fullchip_power_saving_pct": 17.72,
+    "signal_integrity_gain_pct": 64.7,
+    "power_integrity_improvement_x": 10.0,
+    "thermal_increase_pct": 35.0,
+}
+
+
+def compute_claims(glass_3d: DesignResult, glass_25d: DesignResult,
+                   silicon_25d: DesignResult) -> HeadlineClaims:
+    """Compute the abstract's ratios from three flow results.
+
+    Args:
+        glass_3d: The glass 3D design result.
+        glass_25d: The glass 2.5D design result.
+        silicon_25d: The silicon 2.5D design result.
+    """
+    area_x = glass_25d.placement.area_mm2 / glass_3d.placement.area_mm2
+
+    si_wl = sum(n.length_mm for n in silicon_25d.route.routed_nets())
+    g3_wl = sum(n.length_mm for n in glass_3d.route.routed_nets())
+    wl_x = si_wl / max(g3_wl, 1e-9)
+
+    p25 = glass_25d.fullchip.total_power_mw
+    p3 = glass_3d.fullchip.total_power_mw
+    power_pct = (p25 - p3) / p25 * 100.0
+
+    si_gain = 0.0
+    if glass_3d.l2m_eye is not None and glass_25d.l2m_eye is not None:
+        ref = max(glass_25d.l2m_eye.eye_height_v, 1e-9)
+        si_gain = (glass_3d.l2m_eye.eye_height_v - ref) / ref * 100.0
+
+    pi_x = (silicon_25d.pdn_impedance.z_at_1ghz_ohm
+            / max(glass_3d.pdn_impedance.z_at_1ghz_ohm, 1e-9))
+
+    thermal_pct = 0.0
+    if glass_3d.thermal is not None and silicon_25d.thermal is not None:
+        ref_rise = max(silicon_25d.thermal.peak_c
+                       - silicon_25d.thermal.solution.ambient_c, 1e-9)
+        g3_rise = (glass_3d.thermal.peak_c
+                   - glass_3d.thermal.solution.ambient_c)
+        thermal_pct = (g3_rise - ref_rise) / ref_rise * 100.0
+
+    return HeadlineClaims(
+        area_reduction_x=area_x,
+        wirelength_reduction_x=wl_x,
+        fullchip_power_saving_pct=power_pct,
+        signal_integrity_gain_pct=si_gain,
+        power_integrity_improvement_x=pi_x,
+        thermal_increase_pct=thermal_pct)

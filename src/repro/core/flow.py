@@ -1,0 +1,288 @@
+"""The chiplet/interposer co-design flow (paper Fig. 4).
+
+:func:`run_design` executes the full flow for one design point: chiplet
+implementation (both kinds), interposer die placement and RDL routing,
+PDN construction, SI (worst-net channels + eye diagrams), PI (impedance
+profile, IR drop, regulator transient), thermal analysis, and the
+full-chip roll-up.  Results are cached per (design, scale, seed) since
+every stage is deterministic.
+
+:func:`run_monolithic` implements the 2D-monolithic baseline column of
+Table IV: both tiles on a single die, no SerDes/AIB, no interposer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..arch.generate import generate_monolithic_netlist
+from ..chiplet.design import ChipletResult, build_chiplet
+from ..chiplet.floorplan import floorplan
+from ..chiplet.place import place
+from ..chiplet.power import analyze_power, power_density_map
+from ..chiplet.route import global_route
+from ..chiplet.timing import analyze_timing
+from ..interposer.pdn import PdnStackup, build_pdn
+from ..interposer.placement import InterposerPlacement, place_dies
+from ..interposer.routing import InterposerRoute, route_interposer
+from ..pi.impedance import PdnImpedanceReport, analyze_pdn_impedance
+from ..pi.irdrop import IrDropReport, solve_plane_ir_drop
+from ..pi.transient import PowerTransientReport, analyze_power_transient
+from ..si.channel import Channel, ChannelReport, measure_channel
+from ..si.crosstalk import coupled_line_for_spec
+from ..si.eye import EyeResult, simulate_eye
+from ..si.tline import line_for_spec
+from ..tech.interconnect3d import (cascade, microbump_model,
+                                   stacked_via_model, tsv_model)
+from ..tech.interposer import (IntegrationStyle, InterposerSpec, get_spec)
+from ..thermal.model import PackageThermalReport, analyze_package_thermal
+from .fullchip import FullChipSummary, full_chip_summary
+
+
+@dataclass
+class DesignResult:
+    """Everything the flow produced for one design point.
+
+    Attributes mirror the paper's per-design artifacts; the per-table
+    accessors format them the way the evaluation section reports them.
+    """
+
+    spec: InterposerSpec
+    logic: ChipletResult
+    memory: ChipletResult
+    placement: InterposerPlacement
+    route: Optional[InterposerRoute]
+    pdn: Optional[PdnStackup]
+    pdn_impedance: Optional[PdnImpedanceReport]
+    ir_drop: Optional[IrDropReport]
+    power_transient: Optional[PowerTransientReport]
+    l2m_channel: ChannelReport
+    l2l_channel: ChannelReport
+    l2m_eye: Optional[EyeResult]
+    l2l_eye: Optional[EyeResult]
+    thermal: Optional[PackageThermalReport]
+    fullchip: FullChipSummary
+
+    def table4_row(self) -> Dict[str, object]:
+        """One column of Table IV (interposer design results)."""
+        row: Dict[str, object] = {
+            "design": self.spec.display_name,
+            "footprint_mm": (round(self.placement.width_mm, 2),
+                             round(self.placement.height_mm, 2)),
+            "area_mm2": round(self.placement.area_mm2, 2),
+            "power_mw": round(self.fullchip.total_power_mw, 2),
+        }
+        if self.route is not None:
+            routed = self.route.routed_nets()
+            lengths = [n.length_mm for n in routed]
+            row.update({
+                "signal_layers": self.route.signal_layers_used,
+                "total_wl_mm": round(sum(lengths), 2),
+                "min_wl_mm": round(min(lengths), 2),
+                "avg_wl_mm": round(sum(lengths) / len(lengths), 2),
+                "max_wl_mm": round(max(lengths), 2),
+                "via_usage": self.route.total_vias(),
+            })
+        if self.pdn_impedance is not None:
+            row["pdn_impedance_ohm"] = round(
+                self.pdn_impedance.z_at_1ghz_ohm, 2)
+        if self.power_transient is not None:
+            row["settling_time_us"] = round(
+                self.power_transient.settling_time_us, 2)
+        if self.ir_drop is not None:
+            row["ir_drop_mv"] = round(self.ir_drop.worst_drop_mv, 1)
+        return row
+
+    def table5_rows(self) -> Dict[str, Dict[str, float]]:
+        """The design's two Table V rows (L2M and L2L links)."""
+        out = {}
+        for label, rep in (("logic_to_mem", self.l2m_channel),
+                           ("logic_to_logic", self.l2l_channel)):
+            out[label] = {
+                "io_delay_ps": round(rep.driver_delay_ps, 2),
+                "interconnect_delay_ps": round(
+                    rep.interconnect_delay_ps, 2),
+                "total_delay_ps": round(rep.total_delay_ps, 2),
+                "io_power_uw": round(rep.driver_power_uw, 2),
+                "interconnect_power_uw": round(
+                    rep.interconnect_power_uw, 2),
+                "total_power_uw": round(rep.total_power_uw, 2),
+            }
+        return out
+
+
+#: Deterministic result cache: (name, scale, seed) → DesignResult.
+_CACHE: Dict[Tuple[str, float, int], DesignResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached design results (tests use this)."""
+    _CACHE.clear()
+
+
+def _channels_for(spec: InterposerSpec,
+                  route: Optional[InterposerRoute]) -> Tuple[Channel, Channel]:
+    """Worst-case L2M and L2L channels for a design.
+
+    Lengths come from the actual routed interposer (longest net per
+    class); 3D designs use the vertical interconnect models.
+    """
+    if spec.style is IntegrationStyle.TSV_STACK:
+        l2m = Channel(f"{spec.name}/l2m", lumped=microbump_model())
+        l2l = Channel(f"{spec.name}/l2l",
+                      lumped=cascade(tsv_model(), tsv_model()))
+        return l2m, l2l
+    assert route is not None
+    line = line_for_spec(spec)
+    l2l_len = route.longest_net("l2l").length_mm * 1000.0
+    l2l = Channel(f"{spec.name}/l2l", line=line,
+                  length_um=max(l2l_len, 10.0))
+    if spec.style is IntegrationStyle.EMBEDDED_STACK:
+        l2m = Channel(f"{spec.name}/l2m",
+                      lumped=stacked_via_model(
+                          via_size_um=spec.via_size_um,
+                          dielectric_thickness_um=spec.dielectric_thickness_um,
+                          num_layers=spec.metal_layers))
+    else:
+        l2m_len = route.longest_net("l2m").length_mm * 1000.0
+        l2m = Channel(f"{spec.name}/l2m", line=line,
+                      length_um=max(l2m_len, 10.0))
+    return l2m, l2l
+
+
+def run_design(name: str, scale: float = 1.0, seed: int = 2023,
+               target_frequency_mhz: float = 700.0,
+               with_eyes: bool = True,
+               with_thermal: bool = True,
+               use_cache: bool = True) -> DesignResult:
+    """Run the complete co-design flow for one design point.
+
+    Args:
+        name: Design-point name (``"glass_3d"``, ``"silicon_25d"``...).
+        scale: Netlist scale (1.0 = paper-size, tests use small values).
+        seed: Determinism seed.
+        target_frequency_mhz: Chiplet timing target.
+        with_eyes: Run the PRBS eye simulations (the slowest SI step).
+        with_thermal: Run the FD thermal solve.
+        use_cache: Reuse/populate the in-process result cache.
+
+    Returns:
+        A fully populated :class:`DesignResult`.
+    """
+    key = (name, scale, seed)
+    if use_cache and key in _CACHE and with_eyes and with_thermal:
+        return _CACHE[key]
+    spec = get_spec(name)
+
+    logic = build_chiplet("logic", spec, scale=scale, seed=seed,
+                          target_frequency_mhz=target_frequency_mhz)
+    memory = build_chiplet("memory", spec, scale=scale, seed=seed,
+                           target_frequency_mhz=target_frequency_mhz)
+    placement = place_dies(spec, logic.bump_plan, memory.bump_plan)
+
+    route = None
+    pdn = None
+    pdn_imp = None
+    ir = None
+    transient = None
+    if spec.style is not IntegrationStyle.TSV_STACK:
+        route = route_interposer(placement,
+                                 logic.bump_plan.signal_positions(),
+                                 memory.bump_plan.signal_positions())
+        pdn = build_pdn(placement)
+        pdn_imp = analyze_pdn_impedance(pdn)
+        powers = {d.name: (logic if d.kind == "logic"
+                           else memory).power.total_mw * 1e-3
+                  for d in placement.dies}
+        ir = solve_plane_ir_drop(placement, pdn, powers)
+        transient = analyze_power_transient(
+            pdn, sum(powers.values()))
+
+    l2m_ch, l2l_ch = _channels_for(spec, route)
+    l2m_rep = measure_channel(l2m_ch, target_frequency_mhz * 1e6)
+    l2l_rep = measure_channel(l2l_ch, target_frequency_mhz * 1e6)
+
+    l2m_eye = l2l_eye = None
+    if with_eyes:
+        coupled = coupled_line_for_spec(spec)
+        l2m_eye = simulate_eye(line=l2m_ch.line,
+                               length_um=l2m_ch.length_um,
+                               lumped=l2m_ch.lumped, coupled=coupled,
+                               num_bits=64)
+        l2l_eye = simulate_eye(line=l2l_ch.line,
+                               length_um=l2l_ch.length_um,
+                               lumped=l2l_ch.lumped, coupled=coupled,
+                               num_bits=64)
+
+    thermal = None
+    if with_thermal:
+        powers = {d.name: (logic if d.kind == "logic"
+                           else memory).power.total_mw * 1e-3
+                  for d in placement.dies}
+        maps = {}
+        for d in placement.dies:
+            res = logic if d.kind == "logic" else memory
+            maps[d.name] = power_density_map(res.route, res.power)
+        thermal = analyze_package_thermal(placement, powers, maps)
+
+    fullchip = full_chip_summary(logic, memory, l2m_rep, l2l_rep)
+    result = DesignResult(
+        spec=spec, logic=logic, memory=memory, placement=placement,
+        route=route, pdn=pdn, pdn_impedance=pdn_imp, ir_drop=ir,
+        power_transient=transient, l2m_channel=l2m_rep,
+        l2l_channel=l2l_rep, l2m_eye=l2m_eye, l2l_eye=l2l_eye,
+        thermal=thermal, fullchip=fullchip)
+    if use_cache and with_eyes and with_thermal:
+        _CACHE[key] = result
+    return result
+
+
+@dataclass
+class MonolithicResult:
+    """The 2D-monolithic baseline (Table IV's first column).
+
+    Attributes:
+        footprint_mm: Die edge length.
+        area_mm2: Die area.
+        total_power_mw: Sign-off power at the target clock.
+        fmax_mhz: Achieved frequency.
+        cell_count: Netlist size.
+        wirelength_m: Routed wirelength.
+    """
+
+    footprint_mm: float
+    area_mm2: float
+    total_power_mw: float
+    fmax_mhz: float
+    cell_count: int
+    wirelength_m: float
+
+
+def run_monolithic(scale: float = 1.0, seed: int = 2023,
+                   target_frequency_mhz: float = 700.0,
+                   max_utilization: float = 0.725) -> MonolithicResult:
+    """Implement the single-die baseline (no chipletization).
+
+    Die size comes from total cell area at the utilization the paper's
+    1.6 x 1.6 mm monolithic floorplan implies.
+    """
+    netlist = generate_monolithic_netlist(scale=scale, seed=seed)
+    core_margin_um = 20.0
+    width_um = (math.sqrt(netlist.total_cell_area_um2() / max_utilization)
+                + 2 * core_margin_um)
+    width_um = max(width_um, 200.0)
+    fp = floorplan(netlist, width_um, width_um,
+                   core_margin_um=core_margin_um)
+    placement = place(netlist, fp)
+    route = global_route(placement)
+    timing = analyze_timing(route, target_frequency_mhz)
+    power = analyze_power(route, frequency_mhz=target_frequency_mhz)
+    return MonolithicResult(
+        footprint_mm=round(width_um / 1000.0, 2),
+        area_mm2=round((width_um / 1000.0) ** 2, 2),
+        total_power_mw=power.total_mw,
+        fmax_mhz=timing.fmax_mhz,
+        cell_count=len(netlist),
+        wirelength_m=route.total_wirelength_m())

@@ -1,0 +1,84 @@
+"""Full-chip timing and power roll-up (paper Section VII-H).
+
+``total power = P_chiplet + P_intra_tile + P_inter_tile`` — the chiplet
+sign-off power of all four dies plus the measured per-net power of every
+off-chip link, at the link counts of the architecture (2 x 231 intra-tile
+nets, 68 inter-tile nets).  System frequency is set by the slowest
+chiplet, with off-chip propagation checked against the clock period
+(the AIB links are pipelined, so one period is the budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..chiplet.design import ChipletResult
+from ..si.channel import ChannelReport
+
+
+@dataclass
+class FullChipSummary:
+    """System-level roll-up for one design point.
+
+    Attributes:
+        total_power_mw: Chiplets + all off-chip links.
+        chiplet_power_mw: Sum over the four dies.
+        intra_tile_power_mw: All logic-memory link power.
+        inter_tile_power_mw: All logic-logic link power.
+        system_fmax_mhz: Min chiplet Fmax (pipelined links permitting).
+        offchip_timing_met: Whether the worst link delay fits the period.
+        worst_link_delay_ps: Slowest off-chip link (driver+interconnect).
+    """
+
+    total_power_mw: float
+    chiplet_power_mw: float
+    intra_tile_power_mw: float
+    inter_tile_power_mw: float
+    system_fmax_mhz: float
+    offchip_timing_met: bool
+    worst_link_delay_ps: float
+
+
+def full_chip_summary(logic: ChipletResult, memory: ChipletResult,
+                      l2m_link: ChannelReport,
+                      l2l_link: Optional[ChannelReport],
+                      num_tiles: int = 2,
+                      l2m_signals: int = 231,
+                      l2l_signals: int = 68) -> FullChipSummary:
+    """Roll up chiplet and link measurements into the system summary.
+
+    Args:
+        logic: Implemented logic chiplet (shared by both tiles).
+        memory: Implemented memory chiplet.
+        l2m_link: Worst-case intra-tile link measurement.
+        l2l_link: Worst-case inter-tile link; ``None`` for single-tile.
+        num_tiles: Tile count.
+        l2m_signals: Intra-tile signal count per tile.
+        l2l_signals: Inter-tile signal count.
+    """
+    if num_tiles < 1:
+        raise ValueError("need at least one tile")
+    chiplet_mw = num_tiles * (logic.power.total_mw + memory.power.total_mw)
+    intra_mw = (num_tiles * l2m_signals * l2m_link.total_power_uw) * 1e-3
+    inter_mw = 0.0
+    worst_link = l2m_link.total_delay_ps
+    if l2l_link is not None and num_tiles >= 2:
+        inter_mw = ((num_tiles - 1) * l2l_signals
+                    * l2l_link.total_power_uw) * 1e-3
+        worst_link = max(worst_link, l2l_link.total_delay_ps)
+
+    fmax = min(logic.fmax_mhz, memory.fmax_mhz)
+    period_ps = 1e6 / fmax
+    timing_met = worst_link <= period_ps
+    if not timing_met:
+        # Off-chip link limits the system clock (pipelined budget = 1T).
+        fmax = 1e6 / worst_link
+    return FullChipSummary(
+        total_power_mw=chiplet_mw + intra_mw + inter_mw,
+        chiplet_power_mw=chiplet_mw,
+        intra_tile_power_mw=intra_mw,
+        inter_tile_power_mw=inter_mw,
+        system_fmax_mhz=fmax,
+        offchip_timing_met=timing_met,
+        worst_link_delay_ps=worst_link)

@@ -1,0 +1,12 @@
+"""Packaging cost/yield models (the paper's economic motivation)."""
+
+from .model import (ASSEMBLY_COST_PER_DIE, CostReport, GLASS_PANEL,
+                    ORGANIC_PANEL, SILICON_WAFER, SubstrateEconomics,
+                    economics_for, interconnect_yield, package_cost,
+                    units_per_format)
+
+__all__ = [
+    "ASSEMBLY_COST_PER_DIE", "CostReport", "GLASS_PANEL", "ORGANIC_PANEL",
+    "SILICON_WAFER", "SubstrateEconomics", "economics_for",
+    "interconnect_yield", "package_cost", "units_per_format",
+]

@@ -1,0 +1,207 @@
+"""Interposer-level die placement (paper Fig. 10).
+
+Four chiplets (two tiles x logic/memory) are arranged per technology:
+
+* **2.5D technologies** (glass 2.5D, silicon 2.5D, Shinko, APX): logic and
+  memory side-by-side per tile, tiles mirrored so the two logic dies face
+  each other across the inter-tile channel (the NoC routers that talk to
+  each other live in the logic chiplets).
+* **Glass 3D**: each memory die is embedded in the glass cavity directly
+  beneath its logic die; only the two logic/memory *stacks* sit side by
+  side, shrinking the footprint to 1.84 x 1.02 mm.
+* **Silicon 3D** has no interposer: the four dies stack vertically
+  (handled by :mod:`repro.tech.interconnect3d`); its "placement" is a
+  single stack column and is included here for footprint accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..chiplet.bumps import BumpPlan
+from ..tech.interposer import IntegrationStyle, InterposerSpec
+
+#: Edge margin (mm) around the die field for C4/TGV rings on 2.5D designs.
+EDGE_MARGIN_25D_MM = 0.25
+
+#: Edge margin for the embedded-die glass 3D design (power comes up
+#: through TGVs under the stacks, so only a thin seal ring is needed).
+EDGE_MARGIN_3D_MM = 0.10
+
+
+@dataclass(frozen=True)
+class PlacedDie:
+    """One chiplet instance placed on (or in) the interposer.
+
+    Attributes:
+        name: Instance name, e.g. ``"tile0_logic"``.
+        tile: Tile index.
+        kind: ``"logic"`` or ``"memory"``.
+        x_mm: Lower-left x of the die on the interposer.
+        y_mm: Lower-left y.
+        width_mm: Die edge length.
+        level: ``"top"`` for flip-chip dies, ``"embedded"`` for dies in a
+            glass cavity, ``"stack<k>"`` for TSV-stack tiers.
+    """
+
+    name: str
+    tile: int
+    kind: str
+    x_mm: float
+    y_mm: float
+    width_mm: float
+    level: str
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Centre (x, y) of the die in millimetres."""
+        return (self.x_mm + self.width_mm / 2.0,
+                self.y_mm + self.width_mm / 2.0)
+
+    def bump_position_mm(self, bump_x_um: float,
+                         bump_y_um: float) -> Tuple[float, float]:
+        """Interposer coordinates of a die-local bump position."""
+        return (self.x_mm + bump_x_um / 1000.0,
+                self.y_mm + bump_y_um / 1000.0)
+
+
+@dataclass
+class InterposerPlacement:
+    """Die arrangement plus interposer outline.
+
+    Attributes:
+        spec: Technology.
+        dies: Placed dies.
+        width_mm: Interposer outline width.
+        height_mm: Interposer outline height.
+    """
+
+    spec: InterposerSpec
+    dies: List[PlacedDie]
+    width_mm: float
+    height_mm: float
+
+    @property
+    def area_mm2(self) -> float:
+        """Interposer outline area in square millimetres."""
+        return self.width_mm * self.height_mm
+
+    def die(self, tile: int, kind: str) -> PlacedDie:
+        """Look up a placed die by (tile, kind)."""
+        for d in self.dies:
+            if d.tile == tile and d.kind == kind:
+                return d
+        raise KeyError(f"no die tile{tile}/{kind}")
+
+    def overlaps(self) -> bool:
+        """Whether any two same-level dies overlap (sanity invariant)."""
+        for i, a in enumerate(self.dies):
+            for b in self.dies[i + 1:]:
+                if a.level != b.level:
+                    continue
+                if (a.x_mm < b.x_mm + b.width_mm
+                        and b.x_mm < a.x_mm + a.width_mm
+                        and a.y_mm < b.y_mm + b.width_mm
+                        and b.y_mm < a.y_mm + a.width_mm):
+                    return True
+        return False
+
+
+def place_dies(spec: InterposerSpec, logic_plan: BumpPlan,
+               memory_plan: BumpPlan, num_tiles: int = 2) -> InterposerPlacement:
+    """Arrange the chiplets on the interposer per the technology style.
+
+    Args:
+        spec: Interposer technology.
+        logic_plan: Bump plan (die size) of the logic chiplet.
+        memory_plan: Bump plan of the memory chiplet.
+        num_tiles: Tiles in the system (the paper uses 2).
+
+    Returns:
+        An :class:`InterposerPlacement` with a non-overlapping arrangement.
+    """
+    if num_tiles < 1:
+        raise ValueError("need at least one tile")
+    lw = logic_plan.width_mm
+    mw = memory_plan.width_mm
+    gap = spec.die_spacing_um / 1000.0
+
+    if spec.style is IntegrationStyle.EMBEDDED_STACK:
+        return _place_embedded(spec, lw, mw, gap, num_tiles)
+    if spec.style is IntegrationStyle.TSV_STACK:
+        return _place_stack(spec, lw, mw, num_tiles)
+    return _place_side_by_side(spec, lw, mw, gap, num_tiles)
+
+
+def _place_side_by_side(spec: InterposerSpec, lw: float, mw: float,
+                        gap: float, num_tiles: int) -> InterposerPlacement:
+    """2.5D arrangement: per tile a logic+memory row; logic dies adjacent.
+
+    Tile 0 occupies the lower half with memory left of logic; tile 1 is
+    mirrored above so the two logic dies face each other across the
+    inter-tile channel (Fig. 10b rotated 90 degrees).
+    """
+    m = EDGE_MARGIN_25D_MM
+    dies: List[PlacedDie] = []
+    row_w = mw + gap + lw
+    width = row_w + 2 * m
+    y = m
+    for tile in range(num_tiles):
+        if tile % 2 == 0:
+            # Memory on the left, logic on the right.
+            dies.append(PlacedDie(f"tile{tile}_memory", tile, "memory",
+                                  m, y, mw, "top"))
+            dies.append(PlacedDie(f"tile{tile}_logic", tile, "logic",
+                                  m + mw + gap, y, lw, "top"))
+        else:
+            # Mirrored: logic left, memory right — logic dies adjacent
+            # vertically to tile (tile-1)'s logic die... but side-by-side
+            # horizontally we mirror within the row instead.
+            dies.append(PlacedDie(f"tile{tile}_memory", tile, "memory",
+                                  m, y, mw, "top"))
+            dies.append(PlacedDie(f"tile{tile}_logic", tile, "logic",
+                                  m + mw + gap, y, lw, "top"))
+        y += max(lw, mw) + gap
+    height = y - gap + m
+    return InterposerPlacement(spec=spec, dies=dies, width_mm=width,
+                               height_mm=height)
+
+
+def _place_embedded(spec: InterposerSpec, lw: float, mw: float, gap: float,
+                    num_tiles: int) -> InterposerPlacement:
+    """Glass 3D: memory embedded directly beneath its logic die."""
+    if not spec.supports_embedding:
+        raise ValueError(f"{spec.name} cannot embed dies")
+    m = EDGE_MARGIN_3D_MM
+    dies: List[PlacedDie] = []
+    x = m
+    for tile in range(num_tiles):
+        # Memory centered under the logic die.
+        off = (lw - mw) / 2.0
+        dies.append(PlacedDie(f"tile{tile}_memory", tile, "memory",
+                              x + off, m + off, mw, "embedded"))
+        dies.append(PlacedDie(f"tile{tile}_logic", tile, "logic",
+                              x, m, lw, "top"))
+        x += lw + gap
+    width = x - gap + m
+    height = lw + 2 * m
+    return InterposerPlacement(spec=spec, dies=dies, width_mm=width,
+                               height_mm=height)
+
+
+def _place_stack(spec: InterposerSpec, lw: float, mw: float,
+                 num_tiles: int) -> InterposerPlacement:
+    """Silicon 3D: a single vertical stack (mem0, logic0, mem1, logic1)."""
+    dies: List[PlacedDie] = []
+    level = 0
+    for tile in range(num_tiles):
+        dies.append(PlacedDie(f"tile{tile}_memory", tile, "memory",
+                              0.0, 0.0, mw, f"stack{level}"))
+        level += 1
+        dies.append(PlacedDie(f"tile{tile}_logic", tile, "logic",
+                              0.0, 0.0, lw, f"stack{level}"))
+        level += 1
+    side = max(lw, mw)
+    return InterposerPlacement(spec=spec, dies=dies, width_mm=side,
+                               height_mm=side)

@@ -1,0 +1,562 @@
+"""Interposer RDL routing: two-phase global router (plays Xpedition).
+
+The router works on a coarse 3-D grid over the interposer: each signal
+layer has a preferred direction (alternating horizontal/vertical, per the
+paper's Manhattan discipline for glass and silicon), vias connect layers,
+and every grid cell has a per-layer track capacity derived from the
+technology's wire pitch — reduced under dies, where micro-bump via lands
+block tracks.  Organic interposers route diagonally, matching the paper's
+routing-method section.
+
+Routing runs in two phases, the way production global routers do:
+
+1. **Pattern routing** — every net tries a small set of L-shaped (or
+   diagonal line) candidates across layer pairs and commits the cheapest,
+   where cost includes soft congestion penalties.  This is fast and
+   resolves the easy 90+% of nets.
+2. **Rip-up and reroute** — nets crossing over-capacity cells are ripped
+   up and rerouted with congestion-aware A* maze search, which finds the
+   detours and higher-layer escapes that give Table IV its per-technology
+   layer usage and wirelength character.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..tech.interposer import InterposerSpec, IntegrationStyle, RoutingStyle
+from .placement import InterposerPlacement, PlacedDie
+
+#: Routing grid cell edge in microns.
+CELL_UM = 20.0
+
+#: Cost of one via (in units of grid-cell steps).
+VIA_COST = 3.0
+
+#: Soft congestion penalty per overfull cell entered.
+OVERFLOW_COST = 12.0
+
+#: Maze-search node budget per net during rip-up/reroute.
+MAZE_NODE_BUDGET = 120000
+
+#: Maximum rip-up/reroute passes.
+RRR_ROUNDS = 2
+
+
+@dataclass
+class RoutedNet:
+    """One routed interposer net.
+
+    Attributes:
+        name: Net name, e.g. ``"t0_l2m_17"``.
+        kind: ``"l2m"`` (intra-tile logic-memory), ``"l2l"`` (inter-tile
+            logic-logic), or ``"stacked_via"`` (glass 3D vertical link).
+        length_mm: Routed wire length (vertical stacks count their
+            physical via-stack height).
+        vias: Via count along the net.
+        layers: Signal layers the net touches (0 = topmost).
+        path: Grid path [(layer, gy, gx), ...]; empty for stacked vias.
+    """
+
+    name: str
+    kind: str
+    length_mm: float
+    vias: int
+    layers: Set[int] = field(default_factory=set)
+    path: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class InterposerRoute:
+    """Full interposer routing result (one Table IV column).
+
+    Attributes:
+        placement: The die placement that was routed.
+        nets: All routed nets.
+        signal_layers_used: Distinct signal layers carrying wires.
+        overflow_cells: Cells where demand still exceeds capacity after
+            rip-up/reroute (small residuals model local track sharing).
+    """
+
+    placement: InterposerPlacement
+    nets: List[RoutedNet]
+    signal_layers_used: int
+    overflow_cells: int
+
+    def routed_nets(self) -> List[RoutedNet]:
+        """Nets with actual lateral routing (excludes stacked vias)."""
+        return [n for n in self.nets if n.kind != "stacked_via"]
+
+    def total_wirelength_mm(self) -> float:
+        """Total routed wirelength in millimetres."""
+        return sum(n.length_mm for n in self.nets)
+
+    def wirelength_stats_mm(self) -> Dict[str, float]:
+        """min / avg / max over all nets (Table IV rows)."""
+        lengths = [n.length_mm for n in self.nets]
+        if not lengths:
+            return {"min": 0.0, "avg": 0.0, "max": 0.0}
+        return {"min": min(lengths), "avg": sum(lengths) / len(lengths),
+                "max": max(lengths)}
+
+    def total_vias(self) -> int:
+        """Total via count across all nets."""
+        return sum(n.vias for n in self.nets)
+
+    def longest_net(self, kind: Optional[str] = None) -> RoutedNet:
+        """The longest net, optionally restricted to one kind."""
+        pool = [n for n in self.nets if kind is None or n.kind == kind]
+        if not pool:
+            raise ValueError(f"no nets of kind {kind!r}")
+        return max(pool, key=lambda n: n.length_mm)
+
+    def layer_utilization_mm(self) -> Dict[int, float]:
+        """Routed wire length per signal layer (mm), layer 0 = topmost.
+
+        The per-layer split shows how congestion pushed late nets onto
+        upper layers — the mechanism behind Table IV's layer usage.
+        """
+        per_layer: Dict[int, float] = {}
+        cell_mm = CELL_UM / 1000.0
+        for net in self.routed_nets():
+            for (l0, y0, x0), (l1, y1, x1) in zip(net.path,
+                                                  net.path[1:]):
+                if l0 == l1:
+                    dy, dx = abs(y1 - y0), abs(x1 - x0)
+                    step = math.sqrt(2.0) if (dy and dx) else 1.0
+                    per_layer[l0] = per_layer.get(l0, 0.0) \
+                        + step * cell_mm
+        return per_layer
+
+
+class RoutingGrid:
+    """3-D capacity/occupancy grid with pattern and maze search.
+
+    Args:
+        width_mm: Routable area width.
+        height_mm: Routable area height.
+        layers: Number of signal layers.
+        wire_pitch_um: Minimum wire pitch (width + spacing).
+        diagonal: Allow 45-degree moves (organic interposers).
+        cell_um: Grid cell size.
+    """
+
+    def __init__(self, width_mm: float, height_mm: float, layers: int,
+                 wire_pitch_um: float, diagonal: bool = False,
+                 cell_um: float = CELL_UM):
+        if layers < 1:
+            raise ValueError("need at least one signal layer")
+        self.nx = max(2, int(math.ceil(width_mm * 1000.0 / cell_um)))
+        self.ny = max(2, int(math.ceil(height_mm * 1000.0 / cell_um)))
+        self.layers = layers
+        self.cell_um = cell_um
+        self.diagonal = diagonal
+        base_cap = max(1, int(cell_um / wire_pitch_um))
+        self.capacity = np.full((layers, self.ny, self.nx), base_cap,
+                                dtype=np.int32)
+        self.occupancy = np.zeros_like(self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Setup.
+    # ------------------------------------------------------------------ #
+
+    def derate_region(self, x0_mm: float, y0_mm: float, x1_mm: float,
+                      y1_mm: float, capacity: int) -> None:
+        """Clamp capacity in a region (e.g. via blockage under a die)."""
+        gx0 = max(0, int(x0_mm * 1000.0 / self.cell_um))
+        gy0 = max(0, int(y0_mm * 1000.0 / self.cell_um))
+        gx1 = min(self.nx, int(math.ceil(x1_mm * 1000.0 / self.cell_um)))
+        gy1 = min(self.ny, int(math.ceil(y1_mm * 1000.0 / self.cell_um)))
+        self.capacity[:, gy0:gy1, gx0:gx1] = np.minimum(
+            self.capacity[:, gy0:gy1, gx0:gx1], capacity)
+
+    def to_grid(self, x_mm: float, y_mm: float) -> Tuple[int, int]:
+        """Convert mm coordinates to (gy, gx) grid indices."""
+        gx = min(self.nx - 1, max(0, int(x_mm * 1000.0 / self.cell_um)))
+        gy = min(self.ny - 1, max(0, int(y_mm * 1000.0 / self.cell_um)))
+        return gy, gx
+
+    def h_layers(self) -> List[int]:
+        """Layers allowed to route horizontally."""
+        if self.diagonal or self.layers == 1:
+            return list(range(self.layers))
+        return [l for l in range(self.layers) if l % 2 == 0]
+
+    def v_layers(self) -> List[int]:
+        """Layers allowed to route vertically."""
+        if self.diagonal or self.layers == 1:
+            return list(range(self.layers))
+        return [l for l in range(self.layers) if l % 2 == 1]
+
+    # ------------------------------------------------------------------ #
+    # Occupancy bookkeeping.
+    # ------------------------------------------------------------------ #
+
+    def commit(self, path: Sequence[Tuple[int, int, int]]) -> None:
+        """Record a routed path in the occupancy map."""
+        for l, y, x in path:
+            self.occupancy[l, y, x] += 1
+
+    def rip_up(self, path: Sequence[Tuple[int, int, int]]) -> None:
+        """Remove a committed path from the occupancy map."""
+        for l, y, x in path:
+            self.occupancy[l, y, x] -= 1
+
+    def overflow_cells(self) -> int:
+        """Number of cells whose demand exceeds capacity."""
+        return int((self.occupancy > self.capacity).sum())
+
+    def path_overflows(self, path: Sequence[Tuple[int, int, int]]) -> bool:
+        """Whether any cell of the path is over capacity."""
+        return any(self.occupancy[l, y, x] > self.capacity[l, y, x]
+                   for l, y, x in path)
+
+    def path_cost(self, path: Sequence[Tuple[int, int, int]]) -> float:
+        """Cost of a candidate path against current occupancy."""
+        cost = 0.0
+        prev = None
+        for state in path:
+            l, y, x = state
+            if prev is not None:
+                pl, py, px = prev
+                if pl != l:
+                    cost += VIA_COST
+                else:
+                    dy, dx = abs(y - py), abs(x - px)
+                    cost += math.sqrt(2.0) if (dy and dx) else 1.0
+            if self.occupancy[l, y, x] >= self.capacity[l, y, x]:
+                cost += OVERFLOW_COST
+            prev = state
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: pattern routing.
+    # ------------------------------------------------------------------ #
+
+    def pattern_candidates(self, src: Tuple[int, int],
+                           dst: Tuple[int, int]) -> List[List[Tuple[int, int, int]]]:
+        """Candidate paths: L-shapes over layer pairs, or diagonal lines."""
+        sy, sx = src
+        ty, tx = dst
+        candidates: List[List[Tuple[int, int, int]]] = []
+        if self.diagonal:
+            for layer in range(self.layers):
+                candidates.append(self._line_path(layer, sy, sx, ty, tx))
+            return candidates
+        if self.layers == 1:
+            candidates.append(self._l_path(0, 0, sy, sx, ty, tx, True))
+            candidates.append(self._l_path(0, 0, sy, sx, ty, tx, False))
+            return candidates
+        for hl in self.h_layers():
+            for vl in self.v_layers():
+                candidates.append(self._l_path(hl, vl, sy, sx, ty, tx,
+                                               True))
+                candidates.append(self._l_path(hl, vl, sy, sx, ty, tx,
+                                               False))
+        return candidates
+
+    def _l_path(self, hl: int, vl: int, sy: int, sx: int, ty: int, tx: int,
+                h_first: bool) -> List[Tuple[int, int, int]]:
+        """L-shaped path: horizontal on ``hl``, vertical on ``vl``."""
+        path: List[Tuple[int, int, int]] = [(0, sy, sx)]
+
+        def descend(to_layer: int, y: int, x: int):
+            cur = path[-1][0]
+            step = 1 if to_layer > cur else -1
+            for l in range(cur + step, to_layer + step, step):
+                path.append((l, y, x))
+
+        def run_h(layer: int, y: int, x0: int, x1: int):
+            step = 1 if x1 >= x0 else -1
+            for x in range(x0 + step, x1 + step, step):
+                path.append((layer, y, x))
+
+        def run_v(layer: int, x: int, y0: int, y1: int):
+            step = 1 if y1 >= y0 else -1
+            for y in range(y0 + step, y1 + step, step):
+                path.append((layer, y, x))
+
+        if h_first:
+            descend(hl, sy, sx)
+            run_h(hl, sy, sx, tx)
+            descend(vl, sy, tx)
+            run_v(vl, tx, sy, ty)
+        else:
+            descend(vl, sy, sx)
+            run_v(vl, sx, sy, ty)
+            descend(hl, ty, sx)
+            run_h(hl, ty, sx, tx)
+        descend(0, ty, tx)
+        return path
+
+    def _line_path(self, layer: int, sy: int, sx: int, ty: int,
+                   tx: int) -> List[Tuple[int, int, int]]:
+        """Bresenham-style 8-direction line on one layer."""
+        path: List[Tuple[int, int, int]] = [(0, sy, sx)]
+        for l in range(1, layer + 1):
+            path.append((l, sy, sx))
+        y, x = sy, sx
+        while (y, x) != (ty, tx):
+            dy = (ty > y) - (ty < y)
+            dx = (tx > x) - (tx < x)
+            y += dy
+            x += dx
+            path.append((layer, y, x))
+        for l in range(layer - 1, -1, -1):
+            path.append((l, ty, tx))
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: maze search.
+    # ------------------------------------------------------------------ #
+
+    def _layer_dirs(self, layer: int) -> Sequence[Tuple[int, int]]:
+        if self.diagonal:
+            return ((0, 1), (0, -1), (1, 0), (-1, 0),
+                    (1, 1), (1, -1), (-1, 1), (-1, -1))
+        if self.layers == 1:
+            return ((0, 1), (0, -1), (1, 0), (-1, 0))
+        if layer % 2 == 0:
+            return ((0, 1), (0, -1))
+        return ((1, 0), (-1, 0))
+
+    def maze_route(self, src: Tuple[int, int], dst: Tuple[int, int],
+                   max_nodes: int = MAZE_NODE_BUDGET
+                   ) -> Optional[List[Tuple[int, int, int]]]:
+        """Congestion-aware A* from src to dst (both enter on layer 0)."""
+        sy, sx = src
+        ty, tx = dst
+        start = (0, sy, sx)
+        goal = (0, ty, tx)
+        occ = self.occupancy
+        cap = self.capacity
+
+        def h(l: int, y: int, x: int) -> float:
+            if self.diagonal:
+                ay, ax = abs(y - ty), abs(x - tx)
+                return max(ay, ax) + 0.41421 * min(ay, ax)
+            return abs(y - ty) + abs(x - tx)
+
+        dist: Dict[Tuple[int, int, int], float] = {start: 0.0}
+        prev: Dict[Tuple[int, int, int], Tuple[int, int, int]] = {}
+        pq = [(h(*start), 0.0, start)]
+        visited: Set[Tuple[int, int, int]] = set()
+        expansions = 0
+        while pq:
+            f, g, state = heapq.heappop(pq)
+            if state in visited:
+                continue
+            visited.add(state)
+            expansions += 1
+            if expansions > max_nodes:
+                return None
+            if state == goal:
+                path = [state]
+                while path[-1] in prev:
+                    path.append(prev[path[-1]])
+                path.reverse()
+                return path
+            l, y, x = state
+            neighbors: List[Tuple[Tuple[int, int, int], float]] = []
+            for dy, dx in self._layer_dirs(l):
+                ny_, nx_ = y + dy, x + dx
+                if 0 <= ny_ < self.ny and 0 <= nx_ < self.nx:
+                    step = math.sqrt(2.0) if (dy and dx) else 1.0
+                    neighbors.append(((l, ny_, nx_), step))
+            if l > 0:
+                neighbors.append(((l - 1, y, x), VIA_COST))
+            if l < self.layers - 1:
+                neighbors.append(((l + 1, y, x), VIA_COST))
+            for nstate, cost in neighbors:
+                nl, ny_, nx_ = nstate
+                if occ[nl, ny_, nx_] >= cap[nl, ny_, nx_]:
+                    cost += OVERFLOW_COST
+                ng = g + cost
+                if ng < dist.get(nstate, math.inf):
+                    dist[nstate] = ng
+                    prev[nstate] = state
+                    heapq.heappush(pq, (ng + h(nl, ny_, nx_), ng, nstate))
+        return None
+
+
+def _die_escape_capacity(spec: InterposerSpec,
+                         cell_um: float = CELL_UM) -> int:
+    """Track capacity per cell per layer under a die (via-land blockage)."""
+    pitch = spec.microbump_pitch_um
+    usable = max(0.0, pitch - spec.via_size_um)
+    tracks_per_gap = usable / spec.wire_pitch_um
+    per_cell = tracks_per_gap * (cell_um / pitch)
+    return max(1, int(per_cell))
+
+
+def _facing_bumps(die: PlacedDie, plan_positions: List[Tuple[float, float]],
+                  count: int,
+                  toward: Tuple[float, float]) -> List[Tuple[float, float]]:
+    """The ``count`` signal-bump sites of a die nearest a partner die."""
+    scored = sorted(
+        plan_positions,
+        key=lambda p: (abs(die.x_mm + p[0] / 1000.0 - toward[0])
+                       + abs(die.y_mm + p[1] / 1000.0 - toward[1])))
+    return scored[:count]
+
+
+def _pair_sites(die_a: PlacedDie, sites_a: List[Tuple[float, float]],
+                die_b: PlacedDie, sites_b: List[Tuple[float, float]]):
+    """Pair bump sites of two dies in matched geometric order.
+
+    Both site lists are sorted by the coordinate perpendicular to the
+    die-to-die axis, so pairings do not cross (planar escape).
+    Returns [(src_mm, dst_mm), ...] in interposer coordinates.
+    """
+    ax, ay = die_a.center
+    bx, by = die_b.center
+    horizontal = abs(bx - ax) >= abs(by - ay)
+
+    def key(site):
+        return site[1] if horizontal else site[0]
+
+    sa = sorted(sites_a, key=key)
+    sb = sorted(sites_b, key=key)
+    out = []
+    for pa, pb in zip(sa, sb):
+        out.append((die_a.bump_position_mm(*pa),
+                    die_b.bump_position_mm(*pb)))
+    return out
+
+
+def _path_to_net(name: str, kind: str, path: List[Tuple[int, int, int]],
+                 cell_um: float) -> RoutedNet:
+    length_cells = 0.0
+    vias = 2  # bump pad vias at both ends
+    layers: Set[int] = {path[0][0]}
+    for (l0, y0, x0), (l1, y1, x1) in zip(path, path[1:]):
+        if l0 != l1:
+            vias += 1
+        else:
+            dy, dx = abs(y1 - y0), abs(x1 - x0)
+            length_cells += math.sqrt(2.0) if (dy and dx) else 1.0
+        layers.add(l1)
+    return RoutedNet(name=name, kind=kind,
+                     length_mm=length_cells * cell_um / 1000.0,
+                     vias=vias, layers=layers, path=path)
+
+
+def route_interposer(placement: InterposerPlacement,
+                     logic_bumps: List[Tuple[float, float]],
+                     memory_bumps: List[Tuple[float, float]],
+                     l2m_signals: int = 231,
+                     l2l_signals: int = 68) -> InterposerRoute:
+    """Route all chiplet-to-chiplet nets on the interposer.
+
+    Args:
+        placement: Die arrangement (must not be a TSV stack).
+        logic_bumps: Die-local signal bump positions of the logic chiplet
+            (um), from its :class:`~repro.chiplet.bumps.BumpPlan`.
+        memory_bumps: Same for the memory chiplet.
+        l2m_signals: Logic-to-memory nets per tile (231 in the paper).
+        l2l_signals: Logic-to-logic nets between tiles (68 post-SerDes).
+
+    Returns:
+        An :class:`InterposerRoute` with per-net lengths/vias/layers.
+    """
+    spec = placement.spec
+    if spec.style is IntegrationStyle.TSV_STACK:
+        raise ValueError("silicon 3D has no interposer to route; use the "
+                         "3D interconnect models instead")
+    signal_layers = max(1, spec.metal_layers - 2)  # 2 reserved for PDN
+    grid = RoutingGrid(placement.width_mm, placement.height_mm,
+                       signal_layers, spec.wire_pitch_um,
+                       diagonal=spec.routing is RoutingStyle.DIAGONAL)
+    cap_under = _die_escape_capacity(spec)
+    for die in placement.dies:
+        if die.level == "top":
+            grid.derate_region(die.x_mm, die.y_mm,
+                               die.x_mm + die.width_mm,
+                               die.y_mm + die.width_mm, cap_under)
+
+    stacked: List[RoutedNet] = []
+    todo: List[Tuple[str, str, Tuple[float, float], Tuple[float, float]]] = []
+    tiles = sorted({d.tile for d in placement.dies})
+    embedded = spec.style is IntegrationStyle.EMBEDDED_STACK
+
+    for tile in tiles:
+        logic = placement.die(tile, "logic")
+        memory = placement.die(tile, "memory")
+        if embedded:
+            # Stacked microvias straight down through the RDL.
+            stack_um = (spec.dielectric_thickness_um * spec.metal_layers
+                        + 10.0)
+            for i in range(l2m_signals):
+                stacked.append(RoutedNet(
+                    name=f"t{tile}_l2m_{i}", kind="stacked_via",
+                    length_mm=stack_um / 1000.0,
+                    vias=spec.metal_layers, layers=set()))
+            continue
+        src_sites = _facing_bumps(logic, logic_bumps, l2m_signals,
+                                  memory.center)
+        dst_sites = _facing_bumps(memory, memory_bumps, l2m_signals,
+                                  logic.center)
+        for i, (s, d) in enumerate(_pair_sites(logic, src_sites,
+                                               memory, dst_sites)):
+            todo.append((f"t{tile}_l2m_{i}", "l2m", s, d))
+
+    if len(tiles) >= 2:
+        for a, b in zip(tiles[:-1], tiles[1:]):
+            la = placement.die(a, "logic")
+            lb = placement.die(b, "logic")
+            src_sites = _facing_bumps(la, logic_bumps, l2l_signals,
+                                      lb.center)
+            dst_sites = _facing_bumps(lb, logic_bumps, l2l_signals,
+                                      la.center)
+            for i, (s, d) in enumerate(_pair_sites(la, src_sites,
+                                                   lb, dst_sites)):
+                todo.append((f"t{a}{b}_l2l_{i}", "l2l", s, d))
+
+    # ---- phase 1: pattern route, shortest first ----------------------- #
+    def manhattan(job) -> float:
+        _, _, s, d = job
+        return abs(s[0] - d[0]) + abs(s[1] - d[1])
+
+    routed: Dict[str, RoutedNet] = {}
+    for name, kind, s_mm, d_mm in sorted(todo, key=manhattan):
+        src = grid.to_grid(*s_mm)
+        dst = grid.to_grid(*d_mm)
+        best, best_cost = None, math.inf
+        for cand in grid.pattern_candidates(src, dst):
+            c = grid.path_cost(cand)
+            if c < best_cost:
+                best, best_cost = cand, c
+        assert best is not None
+        grid.commit(best)
+        routed[name] = _path_to_net(name, kind, best, grid.cell_um)
+
+    # ---- phase 2: rip-up and reroute overflowing nets ------------------ #
+    for _round in range(RRR_ROUNDS):
+        victims = [n for n in routed.values()
+                   if n.path and grid.path_overflows(n.path)]
+        if not victims:
+            break
+        victims.sort(key=lambda n: -n.length_mm)
+        for net in victims:
+            grid.rip_up(net.path)
+            src = (net.path[0][1], net.path[0][2])
+            dst = (net.path[-1][1], net.path[-1][2])
+            path = grid.maze_route(src, dst)
+            if path is None:
+                path = net.path  # keep the pattern route
+            grid.commit(path)
+            routed[net.name] = _path_to_net(net.name, net.kind, path,
+                                            grid.cell_um)
+
+    nets = stacked + list(routed.values())
+    layers_used: Set[int] = set()
+    for n in nets:
+        layers_used |= n.layers
+    return InterposerRoute(placement=placement, nets=nets,
+                           signal_layers_used=len(layers_used),
+                           overflow_cells=grid.overflow_cells())

@@ -1,0 +1,161 @@
+"""Touchstone (.s2p) S-parameter file writer/reader.
+
+The paper's SI flow passes S-parameters between tools (HFSS → ADS,
+HyperLynx → SPICE).  This module gives the reproduction the same
+interchange surface: any two-port frequency response (from
+:mod:`repro.circuit.twoport` models) can be written as an
+industry-standard Touchstone v1 ``.s2p`` file and read back.
+
+Format emitted: ``# Hz S RI R <z0>`` (real/imaginary pairs), one
+frequency per line in S11 S21 S12 S22 column order, as the standard
+requires for 2-ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SParameterData:
+    """A sampled 2-port S-parameter response.
+
+    Attributes:
+        frequencies_hz: Sample frequencies (ascending).
+        s: Complex S-matrices, shape (n, 2, 2).
+        z0: Reference impedance in ohms.
+    """
+
+    frequencies_hz: np.ndarray
+    s: np.ndarray
+    z0: float = 50.0
+
+    def __post_init__(self):
+        self.frequencies_hz = np.asarray(self.frequencies_hz, dtype=float)
+        self.s = np.asarray(self.s, dtype=complex)
+        if self.s.shape != (len(self.frequencies_hz), 2, 2):
+            raise ValueError(f"S data shape {self.s.shape} does not match "
+                             f"{len(self.frequencies_hz)} frequencies")
+        if (np.diff(self.frequencies_hz) <= 0).any():
+            raise ValueError("frequencies must be strictly ascending")
+        if self.z0 <= 0:
+            raise ValueError("reference impedance must be positive")
+
+    def insertion_loss_db(self) -> np.ndarray:
+        """|S21| in dB per frequency."""
+        return 20.0 * np.log10(np.maximum(np.abs(self.s[:, 1, 0]),
+                                          1e-30))
+
+    def return_loss_db(self) -> np.ndarray:
+        """|S11| in dB per frequency."""
+        return 20.0 * np.log10(np.maximum(np.abs(self.s[:, 0, 0]),
+                                          1e-30))
+
+    def is_passive(self, tolerance: float = 1e-6) -> bool:
+        """Largest singular value of every sample ≤ 1."""
+        for k in range(len(self.frequencies_hz)):
+            if np.linalg.svd(self.s[k], compute_uv=False).max() > \
+                    1.0 + tolerance:
+                return False
+        return True
+
+
+def sample_two_port(build, frequencies_hz: Sequence[float],
+                    z0: float = 50.0) -> SParameterData:
+    """Sample a TwoPort-producing constructor over a frequency list.
+
+    Args:
+        build: Callable ``f_hz -> TwoPort`` (e.g. a lambda wrapping
+            :meth:`repro.circuit.twoport.TwoPort.from_rlc_pi`).
+        frequencies_hz: Sample points.
+        z0: Reference impedance.
+    """
+    freqs = np.asarray(list(frequencies_hz), dtype=float)
+    s = np.zeros((len(freqs), 2, 2), dtype=complex)
+    for i, f in enumerate(freqs):
+        s[i] = build(f).to_s(z0)
+    return SParameterData(frequencies_hz=freqs, s=s, z0=z0)
+
+
+def write_touchstone(data: SParameterData, path: str,
+                     comment: Optional[str] = None) -> None:
+    """Write a 2-port response as a Touchstone v1 .s2p file."""
+    lines: List[str] = []
+    if comment:
+        for line in comment.splitlines():
+            lines.append(f"! {line}")
+    lines.append(f"# Hz S RI R {data.z0:g}")
+    for k, f in enumerate(data.frequencies_hz):
+        m = data.s[k]
+        # Touchstone 2-port column order: S11 S21 S12 S22.
+        vals = [m[0, 0], m[1, 0], m[0, 1], m[1, 1]]
+        nums = " ".join(f"{v.real:.9e} {v.imag:.9e}" for v in vals)
+        lines.append(f"{f:.6e} {nums}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+_FREQ_UNITS = {"hz": 1.0, "khz": 1e3, "mhz": 1e6, "ghz": 1e9}
+
+
+def read_touchstone(path: str) -> SParameterData:
+    """Read a 2-port Touchstone v1 file (S-parameters, RI/MA/DB formats).
+
+    Raises:
+        ValueError: For non-S data or malformed lines.
+    """
+    unit = 1e9  # Touchstone default is GHz
+    fmt = "ma"  # Touchstone default format
+    z0 = 50.0
+    rows: List[Tuple[float, List[float]]] = []
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.split("!", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].lower().split()
+                i = 0
+                while i < len(tokens):
+                    t = tokens[i]
+                    if t in _FREQ_UNITS:
+                        unit = _FREQ_UNITS[t]
+                    elif t in ("ri", "ma", "db"):
+                        fmt = t
+                    elif t == "s":
+                        pass
+                    elif t in ("y", "z", "g", "h"):
+                        raise ValueError(f"unsupported parameter type "
+                                         f"{t.upper()!r}")
+                    elif t == "r":
+                        i += 1
+                        z0 = float(tokens[i])
+                    i += 1
+                continue
+            parts = [float(p) for p in line.split()]
+            if len(parts) != 9:
+                raise ValueError(f"expected 9 columns for a 2-port line, "
+                                 f"got {len(parts)}")
+            rows.append((parts[0] * unit, parts[1:]))
+
+    freqs = np.array([r[0] for r in rows])
+    s = np.zeros((len(rows), 2, 2), dtype=complex)
+    for k, (_, vals) in enumerate(rows):
+        pairs = [(vals[2 * i], vals[2 * i + 1]) for i in range(4)]
+        cplx = [_to_complex(a, b, fmt) for a, b in pairs]
+        # Column order S11 S21 S12 S22.
+        s[k, 0, 0], s[k, 1, 0], s[k, 0, 1], s[k, 1, 1] = cplx
+    return SParameterData(frequencies_hz=freqs, s=s, z0=z0)
+
+
+def _to_complex(a: float, b: float, fmt: str) -> complex:
+    if fmt == "ri":
+        return complex(a, b)
+    if fmt == "ma":
+        return a * np.exp(1j * np.deg2rad(b))
+    if fmt == "db":
+        return 10 ** (a / 20.0) * np.exp(1j * np.deg2rad(b))
+    raise ValueError(f"unknown format {fmt!r}")

@@ -1,0 +1,18 @@
+"""Chipletization: hierarchical and min-cut partitioning, SerDes insertion."""
+
+from .fm import PartitionResult, cut_nets, fm_bipartition
+from .hierarchical import (Chipletization, chipletize, compare_with_fm,
+                           hierarchical_assignment, module_of)
+from .multiway import (MultiwayResult, multiway_cut_nets,
+                       recursive_bisection)
+from .serdes import (SerDesConfig, SerializedBus, insert_serdes_cells,
+                     serdes_cell_overhead, serialize_buses, total_lanes)
+
+__all__ = [
+    "Chipletization", "MultiwayResult", "PartitionResult",
+    "SerDesConfig", "SerializedBus",
+    "chipletize", "compare_with_fm", "cut_nets", "fm_bipartition",
+    "hierarchical_assignment", "insert_serdes_cells", "module_of",
+    "multiway_cut_nets", "recursive_bisection",
+    "serdes_cell_overhead", "serialize_buses", "total_lanes",
+]

@@ -1,0 +1,131 @@
+"""SerDes insertion for inter-tile buses (Section IV-A).
+
+The raw inter-tile interface (six 64-bit buses + 20 control signals = 404
+wires) cannot be bumped out at the available micro-bump pitches, so the
+paper serializes each 64-bit bus 8:1 into 8 lanes, leaving control signals
+untouched: 6*8 + 20 = 68 chiplet-to-chiplet wires, at the cost of 8 extra
+cycles of inter-tile latency.
+
+This module models that transformation: lane counts, latency, and the
+area/power overhead of the serializer/deserializer cells that get added to
+the logic-chiplet netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..arch.modules import BusSpec
+from ..arch.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SerDesConfig:
+    """Serialization parameters.
+
+    Attributes:
+        ratio: Serialization ratio (bits per lane); the paper uses 8.
+        latency_cycles: Extra cycles a serialized transfer takes; equals
+            ``ratio`` for a simple shift-register SerDes.
+        flops_per_lane: DFFs per lane on each side (shift register depth).
+        control_bypass: Whether control signals bypass serialization.
+    """
+
+    ratio: int = 8
+    latency_cycles: int = 8
+    flops_per_lane: int = 16  # ratio flops on TX + ratio on RX
+    control_bypass: bool = True
+
+    def __post_init__(self):
+        if self.ratio < 1:
+            raise ValueError("serdes ratio must be >= 1")
+        if self.latency_cycles < 0:
+            raise ValueError("latency cannot be negative")
+
+
+@dataclass
+class SerializedBus:
+    """One bus after SerDes insertion.
+
+    Attributes:
+        bus: The original bus spec.
+        lanes: Physical wires after serialization.
+        serialized: Whether serialization was applied.
+        latency_cycles: Added transfer latency.
+    """
+
+    bus: BusSpec
+    lanes: int
+    serialized: bool
+    latency_cycles: int
+
+
+def serialize_buses(buses: Sequence[BusSpec],
+                    config: SerDesConfig = SerDesConfig()) -> List[SerializedBus]:
+    """Apply SerDes to a list of buses per the configuration.
+
+    Control buses bypass serialization when ``config.control_bypass``;
+    data buses become ``ceil(width / ratio)`` lanes (the paper's buses are
+    all exact multiples).
+    """
+    out = []
+    for bus in buses:
+        if bus.is_control and config.control_bypass:
+            out.append(SerializedBus(bus=bus, lanes=bus.width,
+                                     serialized=False, latency_cycles=0))
+        else:
+            lanes = max(1, -(-bus.width // config.ratio))  # ceil div
+            out.append(SerializedBus(bus=bus, lanes=lanes, serialized=True,
+                                     latency_cycles=config.latency_cycles))
+    return out
+
+
+def total_lanes(serialized: Sequence[SerializedBus]) -> int:
+    """Physical wire count after serialization."""
+    return sum(s.lanes for s in serialized)
+
+
+def serdes_cell_overhead(serialized: Sequence[SerializedBus],
+                         config: SerDesConfig = SerDesConfig()) -> Dict[str, int]:
+    """Cells added to the netlist by SerDes insertion.
+
+    A lane needs ``flops_per_lane`` DFFs (TX+RX shift registers) plus a
+    small mux/counter control cluster of combinational cells.
+    """
+    lanes = sum(s.lanes for s in serialized if s.serialized)
+    return {
+        "DFF_X1": lanes * config.flops_per_lane,
+        "MUX2_X1": lanes * config.ratio,
+        "NAND2_X1": lanes * 4,
+        "INV_X1": lanes * 2,
+    }
+
+
+def insert_serdes_cells(netlist: Netlist, serialized:
+                        Sequence[SerializedBus],
+                        config: SerDesConfig = SerDesConfig(),
+                        module_path: str = "serdes") -> int:
+    """Materialize SerDes cells into a chiplet netlist.
+
+    The auto-placement engine later places these freely (Section V-A:
+    "the serialization module's placement is determined by the
+    auto-placement engine").
+
+    Returns:
+        Number of instances added.
+    """
+    overhead = serdes_cell_overhead(serialized, config)
+    added = 0
+    for cell_name, count in overhead.items():
+        for i in range(count):
+            netlist.add_instance(f"{module_path}/{cell_name.lower()}_{i}",
+                                 cell_name, module_path)
+            added += 1
+    # Wire the new flops into small shift chains so they are connected.
+    flops = [f"{module_path}/dff_x1_{i}"
+             for i in range(overhead.get("DFF_X1", 0))]
+    for i in range(len(flops) - 1):
+        netlist.add_net(f"{module_path}/chain_{i}", flops[i],
+                        [flops[i + 1]])
+    return added

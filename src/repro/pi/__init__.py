@@ -1,0 +1,16 @@
+"""Power integrity: PDN impedance, IR drop, regulator transients."""
+
+from .electromigration import (EmCheck, EmReport, check_pdn_em)
+from .impedance import (LOOP_SCALE, PdnImpedanceReport, analyze_pdn_impedance,
+                        build_pdn_circuit)
+from .irdrop import IrDropReport, solve_plane_ir_drop
+from .transient import (PowerTransientReport, REGULATOR_FSW_HZ,
+                        analyze_power_transient)
+
+__all__ = [
+    "EmCheck", "EmReport", "IrDropReport", "LOOP_SCALE",
+    "PdnImpedanceReport",
+    "PowerTransientReport", "REGULATOR_FSW_HZ", "analyze_pdn_impedance",
+    "analyze_power_transient", "build_pdn_circuit", "check_pdn_em",
+    "solve_plane_ir_drop",
+]

@@ -1,0 +1,130 @@
+"""PDN impedance profile analysis (paper Fig. 15 and Table IV).
+
+Builds the chiplet-side PDN equivalent circuit — voltage-regulator-side
+package inductance, the interposer's plane pair, and the vertical feed
+from the planes up to the chiplet bumps — and sweeps the driving-point
+impedance at the bumps from 1 MHz to 1 GHz with the AC engine, exactly
+the analysis HyperLynx performs on the layout.
+
+The quasi-static loop-inductance model underestimates effects a full-wave
+solver captures (plane cavity modes, sparse-via current crowding, return
+path stretch-out), so each technology family carries a calibrated
+``loop_scale`` that anchors the 1 GHz inductive asymptote to the paper's
+Table IV values while the *shape* of the profile comes entirely from the
+circuit.  The calibration is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit import Circuit, driving_point_impedance, log_frequencies
+from ..circuit.ac import AcSweepResult
+from ..interposer.pdn import PdnStackup
+
+#: Package + board inductance behind the interposer PDN (H).
+PACKAGE_L_H = 0.1e-9
+
+#: Package + regulator output resistance (ohm).
+PACKAGE_R_OHM = 2.0e-3
+
+#: Full-wave calibration multipliers on the quasi-static loop inductance,
+#: anchored to Table IV's 1 GHz impedances (see module docstring).
+LOOP_SCALE: Dict[str, float] = {
+    "glass_25d": 78.2,
+    "glass_3d": 2.5,
+    "silicon_25d": 217.9,
+    "silicon_3d": 2.5,
+    "shinko": 187.6,
+    "apx": 54.7,
+}
+
+
+@dataclass
+class PdnImpedanceReport:
+    """PDN impedance analysis result.
+
+    Attributes:
+        sweep: Full |Z(f)| profile (Fig. 15 series).
+        z_at_1ghz_ohm: Inductive asymptote — the Table IV "PDN Impedance".
+        z_peak_ohm: Anti-resonant peak magnitude.
+        f_peak_hz: Anti-resonance frequency.
+        loop_inductance_h: Effective loop inductance used.
+        plane_capacitance_f: Plane-pair capacitance.
+    """
+
+    sweep: AcSweepResult
+    z_at_1ghz_ohm: float
+    z_peak_ohm: float
+    f_peak_hz: float
+    loop_inductance_h: float
+    plane_capacitance_f: float
+
+
+def build_pdn_circuit(pdn: PdnStackup,
+                      loop_scale: Optional[float] = None) -> Circuit:
+    """Assemble the PDN equivalent circuit seen from the chiplet bumps.
+
+    Topology::
+
+        bump --[R_feed, L_feed]-- plane --[C_plane || R_esr]-- gnd
+                                    |
+                       [L_pkg, R_pkg] -- ideal regulator (gnd for AC)
+
+    Args:
+        pdn: The PDN stackup geometry.
+        loop_scale: Override for the full-wave calibration multiplier;
+            defaults to the technology's :data:`LOOP_SCALE` entry.
+    """
+    scale = (loop_scale if loop_scale is not None
+             else LOOP_SCALE.get(pdn.spec.name, 10.0))
+    ckt = Circuit(f"pdn_{pdn.spec.name}")
+
+    l_feed = pdn.loop_inductance_h() * scale
+    r_feed = max(pdn.feed_resistance_ohm()
+                 + 2.0 * pdn.plane_sheet_resistance(), 1e-4)
+    c_plane = pdn.plane_capacitance_f()
+
+    ckt.add_resistor("Rfeed", "bump", "nf", r_feed)
+    ckt.add_inductor("Lfeed", "nf", "plane", max(l_feed, 1e-13))
+    # Plane pair capacitance with its spreading ESR.
+    ckt.add_resistor("Resr", "plane", "nc",
+                     max(pdn.plane_sheet_resistance(), 1e-5))
+    ckt.add_capacitor("Cplane", "nc", "0", c_plane)
+    # Package feed back to the regulator (AC ground).
+    ckt.add_resistor("Rpkg", "plane", "np", PACKAGE_R_OHM)
+    ckt.add_inductor("Lpkg", "np", "0", PACKAGE_L_H)
+    return ckt
+
+
+def analyze_pdn_impedance(pdn: PdnStackup,
+                          f_start: float = 1e6, f_stop: float = 1e9,
+                          points_per_decade: int = 25,
+                          loop_scale: Optional[float] = None
+                          ) -> PdnImpedanceReport:
+    """Sweep the PDN impedance profile (the paper's 1e6-1e9 Hz range).
+
+    Args:
+        pdn: PDN stackup.
+        f_start: Sweep start frequency.
+        f_stop: Sweep stop frequency.
+        points_per_decade: Sweep density.
+        loop_scale: Optional calibration override.
+    """
+    ckt = build_pdn_circuit(pdn, loop_scale)
+    freqs = log_frequencies(f_start, f_stop, points_per_decade)
+    sweep = driving_point_impedance(ckt, "bump", freqs)
+    mags = sweep.magnitude()
+    f_peak, z_peak = sweep.peak_magnitude()
+    scale = (loop_scale if loop_scale is not None
+             else LOOP_SCALE.get(pdn.spec.name, 10.0))
+    return PdnImpedanceReport(
+        sweep=sweep,
+        z_at_1ghz_ohm=float(mags[-1]),
+        z_peak_ohm=z_peak,
+        f_peak_hz=f_peak,
+        loop_inductance_h=pdn.loop_inductance_h() * scale,
+        plane_capacitance_f=pdn.plane_capacitance_f())

@@ -1,0 +1,18 @@
+"""Signal integrity: line models, crosstalk, channels, eye diagrams."""
+
+from .channel import (Channel, ChannelReport, build_channel_circuit,
+                      measure_channel)
+from .crosstalk import CoupledLine, add_coupled_bundle, coupled_line_for_spec
+from .eye import EyeResult, eye_metrics, fold_eye, simulate_eye
+from .statistical import (StatisticalEyeReport, analyze_statistical_eye,
+                          ber_to_q, q_to_ber)
+from .tline import RlgcLine, add_tline_ladder, line_for_spec, microstrip_rlgc
+
+__all__ = [
+    "Channel", "ChannelReport", "CoupledLine", "EyeResult", "RlgcLine",
+    "StatisticalEyeReport", "analyze_statistical_eye", "ber_to_q",
+    "q_to_ber",
+    "add_coupled_bundle", "add_tline_ladder", "build_channel_circuit",
+    "coupled_line_for_spec", "eye_metrics", "fold_eye", "line_for_spec",
+    "measure_channel", "microstrip_rlgc", "simulate_eye",
+]

@@ -1,0 +1,175 @@
+"""Interposer design-space sensitivity studies.
+
+The journal extension of the paper points at exactly this direction —
+"exploring the sensitivity of interposer dimensions and material
+properties in 2.5D integrated circuits."  This module provides the sweep
+machinery: take a baseline technology, perturb one specification field
+(bump pitch, wire width, dielectric thickness, dielectric constant...),
+and re-run the affected flow stage to measure the response.
+
+All sweeps operate on :func:`dataclasses.replace` copies of the
+immutable :class:`~repro.tech.interposer.InterposerSpec`, so the
+registry's published design points are never mutated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..chiplet.bumps import plan_for_design
+from ..interposer.placement import place_dies
+from ..interposer.pdn import build_pdn
+from ..pi.impedance import analyze_pdn_impedance
+from ..si.channel import Channel, measure_channel
+from ..si.tline import line_for_spec
+from ..tech.interposer import InterposerSpec
+
+
+def vary_spec(base: InterposerSpec, field: str,
+              values: Sequence[float]) -> List[InterposerSpec]:
+    """Copies of ``base`` with one field swept over ``values``.
+
+    Raises:
+        AttributeError: If the field does not exist on the spec.
+        ValueError: If any resulting spec fails validation.
+    """
+    if not hasattr(base, field):
+        raise AttributeError(f"InterposerSpec has no field {field!r}")
+    out = []
+    for v in values:
+        spec = dataclasses.replace(base, name=f"{base.name}_{field}_{v}",
+                                   **{field: v})
+        spec.validate()
+        out.append(spec)
+    return out
+
+
+@dataclass
+class SweepPoint:
+    """One sample of a sensitivity sweep.
+
+    Attributes:
+        value: The swept parameter value.
+        metrics: metric name → measured value.
+    """
+
+    value: float
+    metrics: Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep.
+
+    Attributes:
+        parameter: The swept field name.
+        baseline: The unmodified technology's name.
+        points: Samples in sweep order.
+    """
+
+    parameter: str
+    baseline: str
+    points: List[SweepPoint]
+
+    def series(self, metric: str) -> List[float]:
+        """Values of one metric across the sweep."""
+        return [p.metrics[metric] for p in self.points]
+
+    def values(self) -> List[float]:
+        """Swept parameter values in order."""
+        return [p.value for p in self.points]
+
+    def sensitivity(self, metric: str) -> float:
+        """Normalized sensitivity d(metric)/d(param) x (param/metric)
+        between the sweep endpoints (a dimensionless elasticity)."""
+        v0, v1 = self.points[0].value, self.points[-1].value
+        m0 = self.points[0].metrics[metric]
+        m1 = self.points[-1].metrics[metric]
+        if v1 == v0 or m0 == 0:
+            return 0.0
+        return ((m1 - m0) / m0) / ((v1 - v0) / v0)
+
+
+def sweep_bump_pitch(base: InterposerSpec,
+                     pitches_um: Sequence[float]) -> SweepResult:
+    """Chiplet and interposer geometry vs micro-bump pitch.
+
+    The pitch drives the entire area story of Table II: smaller pitch →
+    smaller dies → smaller interposer (until the memory die becomes
+    area-limited and stops shrinking).
+    """
+    points = []
+    for spec in vary_spec(base, "microbump_pitch_um", pitches_um):
+        lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+        mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+        placement = place_dies(spec, lp, mp)
+        points.append(SweepPoint(
+            value=spec.microbump_pitch_um,
+            metrics={
+                "logic_die_mm": lp.width_mm,
+                "memory_die_mm": mp.width_mm,
+                "interposer_area_mm2": placement.area_mm2,
+            }))
+    return SweepResult(parameter="microbump_pitch_um",
+                       baseline=base.name, points=points)
+
+
+def sweep_wire_width(base: InterposerSpec,
+                     widths_um: Sequence[float],
+                     length_um: float = 2000.0) -> SweepResult:
+    """Link delay/power vs wire width at fixed length (Table VI's axis).
+
+    Spacing tracks width (min-pitch routing).
+    """
+    points = []
+    for w in widths_um:
+        spec = dataclasses.replace(base,
+                                   name=f"{base.name}_w{w}",
+                                   min_wire_width_um=w,
+                                   min_wire_space_um=w)
+        spec.validate()
+        line = line_for_spec(spec)
+        rep = measure_channel(Channel(spec.name, line=line,
+                                      length_um=length_um))
+        points.append(SweepPoint(
+            value=w,
+            metrics={
+                "delay_ps": rep.interconnect_delay_ps,
+                "power_uw": rep.interconnect_power_uw,
+                "r_ohm_per_mm": line.r_per_m * 1e-3,
+            }))
+    return SweepResult(parameter="min_wire_width_um",
+                       baseline=base.name, points=points)
+
+
+def sweep_dielectric_thickness(base: InterposerSpec,
+                               thicknesses_um: Sequence[float],
+                               length_um: float = 2000.0) -> SweepResult:
+    """SI and PI response to the build-up dielectric thickness.
+
+    Thicker dielectric lowers line capacitance (less delay/power) but
+    pushes the PDN planes further from the chiplet (worse impedance) —
+    the trade the paper's glass 3D stackup sits on.
+    """
+    points = []
+    for spec in vary_spec(base, "dielectric_thickness_um",
+                          thicknesses_um):
+        line = line_for_spec(spec)
+        rep = measure_channel(Channel(spec.name, line=line,
+                                      length_um=length_um))
+        lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+        mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+        pdn = build_pdn(place_dies(spec, lp, mp))
+        z = analyze_pdn_impedance(pdn, points_per_decade=6)
+        points.append(SweepPoint(
+            value=spec.dielectric_thickness_um,
+            metrics={
+                "line_cap_ff_per_mm": line.c_per_m * 1e12,
+                "delay_ps": rep.interconnect_delay_ps,
+                "power_uw": rep.interconnect_power_uw,
+                "pdn_z_1ghz_ohm": z.z_at_1ghz_ohm,
+            }))
+    return SweepResult(parameter="dielectric_thickness_um",
+                       baseline=base.name, points=points)

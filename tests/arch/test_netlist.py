@@ -1,0 +1,133 @@
+"""Unit tests for the netlist data structures."""
+
+import pytest
+
+from repro.arch.netlist import Netlist, PortDirection
+from repro.tech.stdcell import N28_LIB
+
+
+@pytest.fixture
+def small():
+    nl = Netlist("t", N28_LIB)
+    nl.add_instance("a", "INV_X1", "top/m1")
+    nl.add_instance("b", "NAND2_X1", "top/m1")
+    nl.add_instance("c", "DFF_X1", "top/m2")
+    nl.add_net("n1", "a", ["b"])
+    nl.add_net("n2", "b", ["c", "c"])
+    nl.add_net("clk", None, ["c"], is_clock=True)
+    nl.add_port("clk_in", PortDirection.INPUT, "clk", bus="clk")
+    return nl
+
+
+class TestConstruction:
+    def test_instance_count(self, small):
+        assert len(small) == 3
+
+    def test_duplicate_instance_rejected(self, small):
+        with pytest.raises(ValueError, match="duplicate"):
+            small.add_instance("a", "INV_X1")
+
+    def test_unknown_cell_rejected(self, small):
+        with pytest.raises(KeyError):
+            small.add_instance("z", "FAKE_CELL")
+
+    def test_duplicate_net_rejected(self, small):
+        with pytest.raises(ValueError, match="duplicate"):
+            small.add_net("n1", "a", [])
+
+    def test_net_with_unknown_endpoint_rejected(self, small):
+        with pytest.raises(KeyError, match="unknown instance"):
+            small.add_net("bad", "a", ["ghost"])
+
+    def test_port_requires_existing_net(self, small):
+        with pytest.raises(KeyError, match="unknown net"):
+            small.add_port("p", PortDirection.INPUT, "ghost_net")
+
+    def test_duplicate_port_rejected(self, small):
+        with pytest.raises(ValueError, match="duplicate"):
+            small.add_port("clk_in", PortDirection.INPUT, "clk")
+
+
+class TestQueries:
+    def test_nets_of(self, small):
+        assert small.nets_of("b") == {"n1", "n2"}
+        assert small.nets_of("c") == {"n2", "clk"}
+
+    def test_cell_lookup(self, small):
+        assert small.cell("a").name == "INV_X1"
+
+    def test_fanout_and_degree(self, small):
+        assert small.net("n2").fanout() == 2
+        assert small.net("n2").degree() == 3
+        assert small.net("clk").degree() == 1
+
+    def test_hierarchy_split(self, small):
+        assert small.instance("a").hierarchy() == ("top", "m1")
+
+    def test_module_paths(self, small):
+        assert small.module_paths() == {"top/m1", "top/m2"}
+
+    def test_instances_in_prefix(self, small):
+        assert set(small.instances_in("top/m1")) == {"a", "b"}
+        # Nested matching: "top" covers both modules.
+        assert set(small.instances_in("top")) == {"a", "b", "c"}
+        assert small.instances_in("elsewhere") == []
+
+
+class TestStatistics:
+    def test_total_area(self, small):
+        expected = (N28_LIB.get("INV_X1").area_um2
+                    + N28_LIB.get("NAND2_X1").area_um2
+                    + N28_LIB.get("DFF_X1").area_um2)
+        assert small.total_cell_area_um2() == pytest.approx(expected)
+
+    def test_total_leakage(self, small):
+        expected_nw = (N28_LIB.get("INV_X1").leakage_nw
+                       + N28_LIB.get("NAND2_X1").leakage_nw
+                       + N28_LIB.get("DFF_X1").leakage_nw)
+        assert small.total_leakage_mw() == pytest.approx(expected_nw * 1e-6)
+
+    def test_cell_histogram(self, small):
+        assert small.cell_histogram() == {"INV_X1": 1, "NAND2_X1": 1,
+                                          "DFF_X1": 1}
+
+    def test_average_fanout(self, small):
+        assert small.average_fanout() == pytest.approx((1 + 2 + 1) / 3)
+
+    def test_empty_netlist_average_fanout(self):
+        assert Netlist("e", N28_LIB).average_fanout() == 0.0
+
+    def test_validate_clean(self, small):
+        small.validate()
+
+
+class TestSubset:
+    def test_subset_keeps_internal_net(self, small):
+        sub = small.subset(["a", "b"])
+        assert "n1" in sub.nets
+        assert sub.net("n1").sinks == ["b"]
+
+    def test_subset_cuts_boundary_net(self, small):
+        sub = small.subset(["a", "b"])
+        # n2 crossed the boundary: driver kept, sink c dropped, port made.
+        assert sub.net("n2").driver == "b"
+        assert sub.net("n2").sinks == []
+        assert "n2__pin" in sub.ports
+        assert sub.ports["n2__pin"].direction is PortDirection.OUTPUT
+
+    def test_subset_input_side(self, small):
+        sub = small.subset(["c"])
+        assert sub.net("n2").driver is None
+        assert sub.net("n2").sinks == ["c", "c"]
+        assert sub.ports["n2__pin"].direction is PortDirection.INPUT
+
+    def test_subset_preserves_clock_flag(self, small):
+        sub = small.subset(["c"])
+        assert sub.net("clk").is_clock
+
+    def test_subset_validates(self, small):
+        small.subset(["a", "b"]).validate()
+
+    def test_subset_instance_attrs_survive(self, small):
+        sub = small.subset(["a"])
+        assert sub.instance("a").module_path == "top/m1"

@@ -1,0 +1,54 @@
+"""Unit tests for the OpenPiton system model."""
+
+import pytest
+
+from repro.arch.openpiton import ChipletRef, OpenPitonSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return OpenPitonSystem(scale=0.01, seed=3)
+
+
+class TestSystem:
+    def test_four_chiplets_for_two_tiles(self, system):
+        refs = system.chiplets()
+        assert len(refs) == 4
+        assert {r.kind for r in refs} == {"logic", "memory"}
+
+    def test_chiplet_ref_names(self):
+        assert ChipletRef(tile=1, kind="memory").name == "tile1_memory"
+
+    def test_netlist_cached(self, system):
+        a = system.netlist("logic")
+        b = system.netlist("logic")
+        assert a is b
+
+    def test_signal_bump_counts_match_table2(self, system):
+        assert system.logic_signal_bumps() == 299
+        assert system.memory_signal_bumps() == 231
+
+    def test_raw_inter_tile_signals(self, system):
+        assert system.raw_inter_tile_signals() == 404
+
+    def test_serdes_ratio_variants(self, system):
+        assert system.serialized_inter_tile_signals(8) == 68
+        assert system.serialized_inter_tile_signals(4) == 6 * 16 + 20
+        assert system.serialized_inter_tile_signals(1) == 404
+
+    def test_serdes_ratio_validation(self, system):
+        with pytest.raises(ValueError):
+            system.serialized_inter_tile_signals(0)
+
+    def test_clock_period(self, system):
+        assert system.clock_period_ps() == pytest.approx(1e6 / 700)
+
+    def test_expected_cell_counts(self, system):
+        assert system.expected_cell_count("logic") > \
+            system.expected_cell_count("memory")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OpenPitonSystem(num_tiles=0)
+        with pytest.raises(ValueError):
+            OpenPitonSystem(scale=0.0)

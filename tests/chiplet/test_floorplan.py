@@ -1,0 +1,79 @@
+"""Floorplanner tests: region slicing and invariants."""
+
+import pytest
+
+from repro.chiplet.floorplan import Rect, floorplan
+
+
+class TestRect:
+    def test_area_and_center(self):
+        r = Rect(10, 20, 30, 40)
+        assert r.area == 1200
+        assert r.center == (25, 40)
+
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(5, 5)
+        assert r.contains(0, 0)
+        assert not r.contains(11, 5)
+
+
+class TestFloorplan:
+    def test_regions_cover_all_modules(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        assert set(fp.regions) == memory_netlist.module_paths()
+
+    def test_region_area_proportional_to_module_area(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        module_area = {}
+        for name in memory_netlist.instances:
+            p = memory_netlist.instance(name).module_path
+            module_area[p] = module_area.get(p, 0) + \
+                memory_netlist.cell(name).area_um2
+        total = sum(module_area.values())
+        core = fp.core.area
+        for path, region in fp.regions.items():
+            share = module_area[path] / total
+            assert region.area / core == pytest.approx(share, rel=1e-6)
+
+    def test_regions_tile_core_exactly(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        assert sum(r.area for r in fp.regions.values()) == pytest.approx(
+            fp.core.area)
+
+    def test_regions_do_not_overlap(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        regions = list(fp.regions.values())
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                x_overlap = max(0.0, min(a.x + a.w, b.x + b.w)
+                                - max(a.x, b.x))
+                y_overlap = max(0.0, min(a.y + a.h, b.y + b.h)
+                                - max(a.y, b.y))
+                assert x_overlap * y_overlap < 1e-6
+
+    def test_regions_inside_core(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        for r in fp.regions.values():
+            assert r.x >= fp.core.x - 1e-9
+            assert r.y >= fp.core.y - 1e-9
+            assert r.x + r.w <= fp.core.x + fp.core.w + 1e-9
+            assert r.y + r.h <= fp.core.y + fp.core.h + 1e-9
+
+    def test_utilization(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        expected = memory_netlist.total_cell_area_um2() / fp.core.area
+        assert fp.utilization == pytest.approx(expected)
+
+    def test_overfull_die_rejected(self, memory_netlist):
+        with pytest.raises(ValueError, match="utilization"):
+            floorplan(memory_netlist, 60, 60)
+
+    def test_tiny_die_rejected(self, memory_netlist):
+        with pytest.raises(ValueError, match="margin"):
+            floorplan(memory_netlist, 30, 30)
+
+    def test_unknown_region_lookup(self, memory_netlist):
+        fp = floorplan(memory_netlist, 800, 800)
+        with pytest.raises(KeyError):
+            fp.region_of("tile9/gpu")

@@ -1,0 +1,92 @@
+"""STA engine tests."""
+
+import pytest
+
+from repro.arch.netlist import Netlist
+from repro.chiplet.floorplan import floorplan
+from repro.chiplet.place import place
+from repro.chiplet.route import global_route
+from repro.chiplet.timing import analyze_timing
+from repro.tech.stdcell import N28_LIB
+
+
+def route_toy(netlist):
+    fp = floorplan(netlist, 300, 300)
+    return global_route(place(netlist, fp))
+
+
+def chain_netlist(levels=5):
+    """flop -> inv chain -> flop."""
+    nl = Netlist("chain", N28_LIB)
+    nl.add_instance("ff_in", "DFF_X1", "m")
+    prev = "ff_in"
+    for i in range(levels):
+        nl.add_instance(f"i{i}", "INV_X1", "m")
+        nl.add_net(f"n{i}", prev, [f"i{i}"])
+        prev = f"i{i}"
+    nl.add_instance("ff_out", "DFF_X1", "m")
+    nl.add_net("n_end", prev, ["ff_out"])
+    nl.add_instance("ckb", "CLKBUF_X8", "m")
+    nl.add_net("clk", "ckb", ["ff_in", "ff_out"], is_clock=True)
+    return nl
+
+
+class TestSta:
+    def test_longer_chain_is_slower(self):
+        short = analyze_timing(route_toy(chain_netlist(3)))
+        long = analyze_timing(route_toy(chain_netlist(12)))
+        assert long.critical_path_ps > short.critical_path_ps
+        assert long.fmax_mhz < short.fmax_mhz
+
+    def test_critical_path_endpoints(self):
+        rep = analyze_timing(route_toy(chain_netlist(5)))
+        assert rep.critical_path[0] == "ff_in"
+        assert rep.critical_path[-1] == "i4"
+        assert rep.levels == 6  # flop + 5 inverters
+
+    def test_slack_sign(self):
+        rep = analyze_timing(route_toy(chain_netlist(3)),
+                             target_frequency_mhz=100.0)
+        assert rep.meets_target
+        rep_fast = analyze_timing(route_toy(chain_netlist(3)),
+                                  target_frequency_mhz=20_000.0)
+        assert not rep_fast.meets_target
+
+    def test_fmax_consistent_with_cp(self):
+        rep = analyze_timing(route_toy(chain_netlist(4)))
+        assert rep.fmax_mhz == pytest.approx(
+            1e6 / (rep.critical_path_ps + 55.0))
+
+    def test_clock_nets_excluded_from_paths(self):
+        # The clock net has huge fanout; it must not appear as a timing arc.
+        nl = chain_netlist(3)
+        rep = analyze_timing(route_toy(nl))
+        assert "ckb" not in rep.critical_path
+
+    def test_combinational_cycle_detected(self):
+        nl = Netlist("loop", N28_LIB)
+        nl.add_instance("a", "INV_X1")
+        nl.add_instance("b", "INV_X1")
+        nl.add_net("n1", "a", ["b"])
+        nl.add_net("n2", "b", ["a"])
+        with pytest.raises(ValueError, match="cycle"):
+            analyze_timing(route_toy(nl))
+
+    def test_sram_bounds_paths(self):
+        """A path through an SRAM macro starts fresh at its clk->q."""
+        nl = Netlist("sram", N28_LIB)
+        nl.add_instance("ff", "DFF_X1", "m")
+        nl.add_instance("s", "SRAM_SLICE_64b", "m")
+        nl.add_instance("i0", "INV_X1", "m")
+        nl.add_net("addr", "ff", ["s"])
+        nl.add_net("data", "s", ["i0"])
+        nl.add_instance("ff2", "DFF_X1", "m")
+        nl.add_net("out", "i0", ["ff2"])
+        rep = analyze_timing(route_toy(nl))
+        # Worst path starts at the SRAM, not at ff through the SRAM.
+        assert rep.critical_path[0] == "s"
+
+    def test_chiplet_closes_near_700mhz(self, glass_logic_chiplet):
+        # The paper's chiplets close at 676-699 MHz; the reduced-scale
+        # netlists keep the same pipeline depth so Fmax stays comparable.
+        assert 500 < glass_logic_chiplet.timing.fmax_mhz < 1100

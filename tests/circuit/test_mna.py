@@ -1,0 +1,148 @@
+"""MNA DC/AC solver tests against hand-solvable circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Circuit
+from repro.circuit.mna import solve_ac, solve_dc
+
+
+class TestDc:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 10.0)
+        c.add_resistor("R1", "in", "out", 3000.0)
+        c.add_resistor("R2", "out", "0", 1000.0)
+        s = solve_dc(c)
+        assert s.voltage("out") == pytest.approx(2.5)
+        assert s.voltage("0") == 0.0
+
+    def test_source_current(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 10.0)
+        c.add_resistor("R1", "in", "0", 1000.0)
+        s = solve_dc(c)
+        # Current into n1 of the source is -10 mA (delivering).
+        assert s.vsource_current("V") == pytest.approx(-0.01)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_isource("I", "0", "a", 1e-3)  # inject 1 mA into a
+        c.add_resistor("R", "a", "0", 2000.0)
+        s = solve_dc(c)
+        assert s.voltage("a") == pytest.approx(2.0)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "a", 100.0)
+        c.add_inductor("L", "a", "b", 1e-6)
+        c.add_resistor("R2", "b", "0", 100.0)
+        s = solve_dc(c)
+        assert s.voltage("a") == pytest.approx(s.voltage("b"))
+        assert s.inductor_current("L") == pytest.approx(5e-3)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "a", 100.0)
+        c.add_capacitor("C", "a", "0", 1e-9)
+        s = solve_dc(c)
+        assert s.voltage("a") == pytest.approx(1.0)
+
+    def test_vcvs_gain(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 0.5)
+        c.add_resistor("Rin", "in", "0", 1e6)
+        c.add_vcvs("E", "out", "0", "in", "0", gain=4.0)
+        c.add_resistor("RL", "out", "0", 1000.0)
+        s = solve_dc(c)
+        assert s.voltage("out") == pytest.approx(2.0)
+
+    def test_superposition(self):
+        def build(v1, i1):
+            c = Circuit()
+            c.add_vsource("V", "a", "0", v1)
+            c.add_resistor("R1", "a", "b", 1000.0)
+            c.add_isource("I", "0", "b", i1)
+            c.add_resistor("R2", "b", "0", 1000.0)
+            return solve_dc(c).voltage("b")
+
+        both = build(2.0, 1e-3)
+        only_v = build(2.0, 0.0)
+        only_i = build(0.0, 1e-3)
+        assert both == pytest.approx(only_v + only_i)
+
+    def test_unknown_source_lookup(self):
+        c = Circuit()
+        c.add_vsource("V", "a", "0", 1.0)
+        c.add_resistor("R", "a", "0", 1.0)
+        s = solve_dc(c)
+        with pytest.raises(KeyError):
+            s.vsource_current("nope")
+
+
+class TestAc:
+    def test_rc_magnitude_at_corner(self):
+        r, cap = 1000.0, 1e-9
+        fc = 1.0 / (2 * math.pi * r * cap)
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "out", r)
+        c.add_capacitor("C", "out", "0", cap)
+        s = solve_ac(c, fc)
+        assert abs(s.voltage("out")) == pytest.approx(1 / math.sqrt(2),
+                                                      rel=1e-6)
+
+    def test_rc_phase_at_corner(self):
+        r, cap = 1000.0, 1e-9
+        fc = 1.0 / (2 * math.pi * r * cap)
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "out", r)
+        c.add_capacitor("C", "out", "0", cap)
+        s = solve_ac(c, fc)
+        assert math.degrees(np.angle(s.voltage("out"))) == pytest.approx(
+            -45.0, abs=0.01)
+
+    def test_lc_resonance_peak(self):
+        # Series RLC: at resonance, the full source appears on R.
+        l, cap = 1e-6, 1e-9
+        f0 = 1.0 / (2 * math.pi * math.sqrt(l * cap))
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_inductor("L", "in", "m", l)
+        c.add_capacitor("C", "m", "out", cap)
+        c.add_resistor("R", "out", "0", 50.0)
+        s = solve_ac(c, f0)
+        assert abs(s.voltage("out")) == pytest.approx(1.0, rel=1e-3)
+
+    def test_transformer_coupling(self):
+        c = Circuit()
+        c.add_vsource("V", "p", "0", 1.0)
+        c.add_inductor("L1", "p", "0", 1e-6)
+        c.add_inductor("L2", "s", "0", 1e-6)
+        c.add_mutual("K", "L1", "L2", 0.8)
+        c.add_resistor("RL", "s", "0", 1e9)
+        s = solve_ac(c, 1e6)
+        # Open secondary of a 1:1 transformer: V_s = k * V_p.
+        assert abs(s.voltage("s")) == pytest.approx(0.8, rel=1e-3)
+
+    def test_ac_rejects_nonpositive_frequency(self):
+        c = Circuit()
+        c.add_vsource("V", "a", "0", 1.0)
+        c.add_resistor("R", "a", "0", 1.0)
+        with pytest.raises(ValueError):
+            solve_ac(c, 0.0)
+
+    def test_inductor_impedance_scaling(self):
+        c = Circuit()
+        c.add_vsource("V", "in", "0", 1.0)
+        c.add_resistor("R", "in", "out", 100.0)
+        c.add_inductor("L", "out", "0", 1e-6)
+        low = abs(solve_ac(c, 1e4).voltage("out"))
+        high = abs(solve_ac(c, 1e8).voltage("out"))
+        assert low < 0.01
+        assert high > 0.9

@@ -1,0 +1,95 @@
+"""Thermal-noise analysis tests against closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.noise import (K_BOLTZMANN, output_noise,
+                                 receiver_noise_mv)
+
+
+class TestOutputNoise:
+    def test_bare_resistor_psd(self):
+        """A resistor to ground read directly: PSD = 4kTR."""
+        c = Circuit()
+        c.add_resistor("R", "out", "0", 1000.0)
+        rep = output_noise(c, "out", [1e6])
+        expected = 4 * K_BOLTZMANN * 300.0 * 1000.0
+        assert rep.density_v2_per_hz[0] == pytest.approx(expected,
+                                                         rel=1e-9)
+
+    def test_divider_noise_is_parallel_resistance(self):
+        """Two resistors to the same node: PSD = 4kT (R1 || R2)."""
+        c = Circuit()
+        c.add_resistor("R1", "out", "0", 1000.0)
+        c.add_resistor("R2", "out", "0", 1000.0)
+        rep = output_noise(c, "out", [1e6])
+        expected = 4 * K_BOLTZMANN * 300.0 * 500.0
+        assert rep.density_v2_per_hz[0] == pytest.approx(expected,
+                                                         rel=1e-9)
+
+    def test_rc_filtered_rms_is_ktc(self):
+        """Integrated RC-filtered Johnson noise -> kT/C."""
+        r, cap = 1000.0, 1e-12
+        c = Circuit()
+        c.add_resistor("R", "out", "0", r)
+        c.add_capacitor("C", "out", "0", cap)
+        corner = 1 / (2 * math.pi * r * cap)
+        freqs = np.linspace(1e3, 400 * corner, 8000)
+        rep = output_noise(c, "out", freqs)
+        ktc = math.sqrt(K_BOLTZMANN * 300.0 / cap)
+        assert rep.rms_v == pytest.approx(ktc, rel=0.05)
+
+    def test_contributions_sum_to_total(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "out", 500.0)
+        c.add_resistor("R2", "out", "0", 2000.0)
+        c.add_capacitor("C", "out", "0", 1e-13)
+        rep = output_noise(c, "out", [1e6, 1e8])
+        total = sum(rep.contributions.values())
+        assert np.allclose(total, rep.density_v2_per_hz)
+
+    def test_dominant_source(self):
+        c = Circuit()
+        c.add_resistor("Rsmall", "out", "0", 10.0)
+        c.add_resistor("Rbig", "out", "0", 1e6)
+        rep = output_noise(c, "out", [1e6])
+        # Parallel: small resistor dominates the node impedance and the
+        # big resistor's current noise is tiny — small R wins.
+        assert rep.dominant_source() == "Rsmall"
+
+    def test_temperature_scaling(self):
+        c = Circuit()
+        c.add_resistor("R", "out", "0", 1000.0)
+        hot = output_noise(c, "out", [1e6], temperature_k=400.0)
+        cold = output_noise(c, "out", [1e6], temperature_k=100.0)
+        assert hot.density_v2_per_hz[0] == pytest.approx(
+            4 * cold.density_v2_per_hz[0], rel=1e-9)
+
+    def test_validation(self):
+        c = Circuit()
+        c.add_capacitor("C", "a", "0", 1e-12)
+        with pytest.raises(ValueError, match="no thermal noise"):
+            output_noise(c, "a", [1e6])
+        c2 = Circuit()
+        c2.add_resistor("R", "a", "0", 1.0)
+        with pytest.raises(ValueError):
+            output_noise(c2, "0", [1e6])
+
+
+class TestReceiverNoise:
+    def test_ktc_regime(self):
+        # 25 fF at 300 K: sqrt(kT/C) ~ 0.407 mV.
+        v = receiver_noise_mv(input_cap_ff=25.0, bandwidth_hz=1e12)
+        assert v == pytest.approx(0.407, rel=0.02)
+
+    def test_bandwidth_limited_regime(self):
+        narrow = receiver_noise_mv(bandwidth_hz=1e6)
+        wide = receiver_noise_mv(bandwidth_hz=1e12)
+        assert narrow < wide
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            receiver_noise_mv(source_impedance_ohm=0.0)

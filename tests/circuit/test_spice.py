@@ -1,0 +1,91 @@
+"""SPICE deck exporter tests."""
+
+import pytest
+
+from repro.circuit import Circuit, write_spice
+from repro.circuit.waveforms import pulse
+from repro.si.channel import Channel, build_channel_circuit
+from repro.si.tline import line_for_spec
+from repro.tech.interposer import GLASS_25D
+
+
+def demo_circuit():
+    c = Circuit("demo")
+    c.add_vsource("V1", "in", "0",
+                  pulse(0, 0.9, 0, 25e-12, 25e-12, 600e-12, 1.43e-9))
+    c.add_resistor("R1", "in", "out", 47.4)
+    c.add_capacitor("C1", "out", "0", 100e-15)
+    c.add_inductor("L1", "out", "a", 1e-10)
+    c.add_inductor("L2", "b", "0", 1e-10)
+    c.add_mutual("K1", "L1", "L2", 0.3)
+    c.add_vcvs("E1", "e", "0", "out", "0", 2.0)
+    return c
+
+
+class TestSpiceExport:
+    def test_deck_structure(self, tmp_path):
+        path = str(tmp_path / "d.sp")
+        write_spice(demo_circuit(), path, t_stop=5e-9)
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("* demo")
+        assert lines[-1] == ".end"
+        assert any(l.startswith(".tran") for l in lines)
+
+    def test_element_counts(self, tmp_path):
+        path = str(tmp_path / "d.sp")
+        write_spice(demo_circuit(), path)
+        content = open(path).read().splitlines()
+        prefixes = [l[0] for l in content
+                    if l and l[0] in "RCLKVIE"]
+        assert prefixes.count("R") == 1
+        assert prefixes.count("C") == 1
+        assert prefixes.count("L") == 2
+        assert prefixes.count("K") == 1
+        assert prefixes.count("V") == 1
+        assert prefixes.count("E") == 1
+
+    def test_mutual_references_refdes(self, tmp_path):
+        path = str(tmp_path / "d.sp")
+        write_spice(demo_circuit(), path)
+        k_lines = [l for l in open(path) if l.startswith("K")]
+        assert k_lines[0].split()[1:3] == ["L0", "L1"]
+
+    def test_op_mode_uses_dc(self, tmp_path):
+        path = str(tmp_path / "op.sp")
+        write_spice(demo_circuit(), path)  # no t_stop
+        content = open(path).read()
+        assert ".op" in content
+        assert "PWL" not in content
+
+    def test_tran_mode_samples_pwl(self, tmp_path):
+        path = str(tmp_path / "tr.sp")
+        write_spice(demo_circuit(), path, t_stop=5e-9, pwl_points=20)
+        v_line = [l for l in open(path) if l.startswith("V0")][0]
+        assert "PWL(" in v_line
+        assert v_line.count("e-") >= 20
+
+    def test_constant_source_stays_dc_in_tran(self, tmp_path):
+        c = Circuit()
+        c.add_vsource("V", "a", "0", 0.9)
+        c.add_resistor("R", "a", "0", 50.0)
+        path = str(tmp_path / "dc.sp")
+        write_spice(c, path, t_stop=1e-9)
+        v_line = [l for l in open(path) if l.startswith("V0")][0]
+        assert "DC" in v_line
+
+    def test_channel_testbench_exports(self, tmp_path):
+        ch = Channel("x", line=line_for_spec(GLASS_25D), length_um=1000)
+        ckt, _, _ = build_channel_circuit(ch)
+        path = str(tmp_path / "chan.sp")
+        write_spice(ckt, path, t_stop=3e-9)
+        content = open(path).read()
+        assert content.count("\nR") >= 16  # ladder resistors
+        assert content.endswith(".end\n")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_spice(demo_circuit(), str(tmp_path / "x.sp"),
+                        t_stop=-1.0)
+        with pytest.raises(ValueError):
+            write_spice(demo_circuit(), str(tmp_path / "x.sp"),
+                        t_stop=1e-9, pwl_points=1)

@@ -1,0 +1,31 @@
+"""Headline-claim computation tests (small scale: sign/direction only)."""
+
+import pytest
+
+from repro.core.claims import PAPER_CLAIMS, compute_claims
+from repro.core.flow import run_design
+
+
+@pytest.fixture(scope="module")
+def claims():
+    g3 = run_design("glass_3d", scale=0.03, seed=7)
+    g25 = run_design("glass_25d", scale=0.03, seed=7)
+    si = run_design("silicon_25d", scale=0.03, seed=7)
+    return compute_claims(g3, g25, si)
+
+
+class TestClaims:
+    def test_area_reduction_direction(self, claims):
+        assert claims.area_reduction_x > 2.0
+
+    def test_wirelength_reduction_large(self, claims):
+        assert claims.wirelength_reduction_x > 5.0
+
+    def test_pi_improvement_large(self, claims):
+        assert claims.power_integrity_improvement_x > 4.0
+
+    def test_thermal_penalty_positive(self, claims):
+        assert claims.thermal_increase_pct > 0.0
+
+    def test_as_dict_matches_paper_keys(self, claims):
+        assert set(claims.as_dict()) == set(PAPER_CLAIMS)

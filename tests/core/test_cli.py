@@ -1,0 +1,26 @@
+"""CLI entry-point tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_single_design(self, capsys):
+        rc = main(["glass_3d", "--scale", "0.015", "--no-eyes",
+                   "--no-thermal"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "glass_3d" in out
+        assert "PDN Z" in out
+
+    def test_monolithic(self, capsys):
+        rc = main(["monolithic", "--scale", "0.015"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2D monolithic baseline" in out
+        assert "footprint" in out
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            main(["fr4"])

@@ -1,0 +1,73 @@
+"""Co-design flow integration tests (reduced scale)."""
+
+import pytest
+
+from repro.core.flow import clear_cache, run_design, run_monolithic
+
+
+class TestRunDesign:
+    def test_glass3d_result_complete(self, glass3d_design):
+        r = glass3d_design
+        assert r.logic.kind == "logic"
+        assert r.memory.kind == "memory"
+        assert r.route is not None
+        assert r.pdn_impedance is not None
+        assert r.ir_drop is not None
+        assert r.power_transient is not None
+        assert r.thermal is not None
+        assert r.l2m_eye is not None
+
+    def test_glass3d_l2m_is_vertical(self, glass3d_design):
+        # Embedded stack: L2M measured on the stacked-via model.
+        assert glass3d_design.l2m_channel.interconnect_delay_ps < 5.0
+
+    def test_table4_row_keys(self, glass3d_design):
+        row = glass3d_design.table4_row()
+        assert {"design", "footprint_mm", "area_mm2", "power_mw",
+                "signal_layers", "total_wl_mm", "via_usage",
+                "pdn_impedance_ohm", "settling_time_us",
+                "ir_drop_mv"} <= set(row)
+
+    def test_table5_rows(self, glass3d_design):
+        rows = glass3d_design.table5_rows()
+        assert set(rows) == {"logic_to_mem", "logic_to_logic"}
+        for row in rows.values():
+            assert row["total_delay_ps"] == pytest.approx(
+                row["io_delay_ps"] + row["interconnect_delay_ps"])
+
+    def test_silicon3d_skips_interposer(self):
+        r = run_design("silicon_3d", scale=0.02, seed=7,
+                       with_eyes=False, with_thermal=False)
+        assert r.route is None
+        assert r.pdn_impedance is None
+        assert "signal_layers" not in r.table4_row()
+
+    def test_cache_hit(self):
+        clear_cache()
+        a = run_design("glass_25d", scale=0.015, seed=9)
+        b = run_design("glass_25d", scale=0.015, seed=9)
+        assert a is b
+        clear_cache()
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            run_design("fr4", scale=0.01)
+
+    def test_fullchip_power_exceeds_chiplet_power(self, glass3d_design):
+        fc = glass3d_design.fullchip
+        assert fc.total_power_mw > fc.chiplet_power_mw
+        assert fc.offchip_timing_met
+
+
+class TestMonolithic:
+    def test_monolithic_baseline(self):
+        m = run_monolithic(scale=0.02, seed=7)
+        assert m.cell_count > 3000
+        assert m.area_mm2 == pytest.approx(m.footprint_mm ** 2, rel=0.05)
+        assert m.total_power_mw > 0
+        assert m.wirelength_m > 0
+
+    def test_monolithic_die_smaller_than_2_5d_interposer(self,
+                                                         silicon_design):
+        m = run_monolithic(scale=0.03, seed=7)
+        assert m.area_mm2 < silicon_design.placement.area_mm2

@@ -1,0 +1,65 @@
+"""Full-chip roll-up tests (Section VII-H)."""
+
+import pytest
+
+from repro.core.fullchip import full_chip_summary
+from repro.si.channel import ChannelReport
+
+
+def link(delay_ps=40.0, power_uw=100.0):
+    return ChannelReport(name="x", driver_delay_ps=38.0,
+                         interconnect_delay_ps=delay_ps - 38.0,
+                         total_delay_ps=delay_ps,
+                         driver_power_uw=26.0,
+                         interconnect_power_uw=power_uw - 26.0,
+                         total_power_uw=power_uw)
+
+
+class TestRollUp:
+    def test_power_formula(self, glass_logic_chiplet,
+                           glass_memory_chiplet):
+        s = full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              link(power_uw=200.0), link(power_uw=50.0))
+        chiplets = 2 * (glass_logic_chiplet.power.total_mw
+                        + glass_memory_chiplet.power.total_mw)
+        intra = 2 * 231 * 200.0 * 1e-3
+        inter = 1 * 68 * 50.0 * 1e-3
+        assert s.chiplet_power_mw == pytest.approx(chiplets)
+        assert s.intra_tile_power_mw == pytest.approx(intra)
+        assert s.inter_tile_power_mw == pytest.approx(inter)
+        assert s.total_power_mw == pytest.approx(chiplets + intra + inter)
+
+    def test_fmax_is_slowest_chiplet(self, glass_logic_chiplet,
+                                     glass_memory_chiplet):
+        s = full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              link(), link())
+        assert s.system_fmax_mhz == pytest.approx(
+            min(glass_logic_chiplet.fmax_mhz,
+                glass_memory_chiplet.fmax_mhz))
+        assert s.offchip_timing_met
+
+    def test_slow_link_limits_system(self, glass_logic_chiplet,
+                                     glass_memory_chiplet):
+        slow = link(delay_ps=5000.0)
+        s = full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              slow, link())
+        assert not s.offchip_timing_met
+        assert s.system_fmax_mhz == pytest.approx(1e6 / 5000.0)
+
+    def test_single_tile_no_inter(self, glass_logic_chiplet,
+                                  glass_memory_chiplet):
+        s = full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              link(), None, num_tiles=1)
+        assert s.inter_tile_power_mw == 0.0
+
+    def test_worst_link_tracking(self, glass_logic_chiplet,
+                                 glass_memory_chiplet):
+        s = full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              link(delay_ps=60.0), link(delay_ps=90.0))
+        assert s.worst_link_delay_ps == pytest.approx(90.0)
+
+    def test_zero_tiles_rejected(self, glass_logic_chiplet,
+                                 glass_memory_chiplet):
+        with pytest.raises(ValueError):
+            full_chip_summary(glass_logic_chiplet, glass_memory_chiplet,
+                              link(), link(), num_tiles=0)

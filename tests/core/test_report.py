@@ -1,0 +1,36 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.core.report import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "metric"], [["x", 1.0], ["yy", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[0.1234], [12.345], [12345.6], [0]])
+        assert "0.123" in out
+        assert "12.35" in out  # >=10 gets 2 decimals
+        assert "12346" in out  # >=1000 rounds to int
+        assert "\n0" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_comparison_layout(self):
+        out = format_comparison({"wl": [1.0, 2.0], "power": [3.0, 4.0]},
+                                ["glass", "silicon"])
+        lines = out.splitlines()
+        assert lines[0].startswith("metric")
+        assert "glass" in lines[0] and "silicon" in lines[0]
+        assert lines[2].startswith("wl")

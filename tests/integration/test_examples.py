@@ -1,0 +1,74 @@
+"""Smoke tests that the example scripts run end to end.
+
+Only the fast examples run here (tiny scales); the heavier sweeps are
+exercised by the benchmark suite.  Each test imports the script as a
+module and drives its ``main()`` with patched ``sys.argv``.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "examples")
+
+
+def load(name):
+    path = os.path.join(EXAMPLES, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_with_argv(module, argv, monkeypatch):
+    monkeypatch.setattr(sys, "argv", argv)
+    module.main()
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        mod = load("quickstart")
+        run_with_argv(mod, ["quickstart.py", "glass_3d", "0.015"],
+                      monkeypatch)
+        out = capsys.readouterr().out
+        assert "Chiplet implementation" in out
+        assert "Full chip:" in out
+
+    def test_quickstart_rejects_unknown_design(self, monkeypatch):
+        mod = load("quickstart")
+        with pytest.raises(SystemExit):
+            run_with_argv(mod, ["quickstart.py", "fr4"], monkeypatch)
+
+    def test_partitioning_study(self, monkeypatch, capsys):
+        mod = load("partitioning_study")
+        run_with_argv(mod, ["partitioning_study.py", "0.01"],
+                      monkeypatch)
+        out = capsys.readouterr().out
+        assert "Partitioning comparison" in out
+        assert "SerDes ratio trade-off" in out
+
+    def test_export_layouts(self, monkeypatch, capsys, tmp_path):
+        mod = load("export_layouts")
+        monkeypatch.chdir(tmp_path)
+        run_with_argv(mod, ["export_layouts.py", "glass_3d", "0.015"],
+                      monkeypatch)
+        out = capsys.readouterr().out
+        assert "GDSII round-trip verified." in out
+        assert (tmp_path / "layouts" / "glass_3d.gds").exists()
+
+    def test_chipletization_explorer(self, monkeypatch, capsys):
+        mod = load("chipletization_explorer")
+        run_with_argv(mod, ["chipletization_explorer.py", "0.01"],
+                      monkeypatch)
+        out = capsys.readouterr().out
+        assert "Chipletization depth exploration" in out
+
+    def test_sensitivity_study(self, monkeypatch, capsys):
+        mod = load("sensitivity_study")
+        run_with_argv(mod, ["sensitivity_study.py"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "Bump-pitch sweep" in out
+        assert "SI/PI trade" in out

@@ -1,0 +1,68 @@
+"""Small-unit coverage: helpers that larger tests exercise indirectly."""
+
+import pytest
+
+from repro.arch.generate import _family_counts
+from repro.arch.modules import CellMix
+from repro.cost.model import SILICON_WAFER, GLASS_PANEL, units_per_format
+from repro.studies.sensitivity import SweepPoint, SweepResult
+
+
+class TestFamilyCounts:
+    def test_total_preserved_exactly(self):
+        mix = CellMix(comb=0.64, seq=0.24, buf=0.12, sram=0.0)
+        for total in (7, 100, 1234, 99_999):
+            counts = _family_counts(mix, total)
+            assert sum(counts.values()) == total
+
+    def test_fractions_respected(self):
+        mix = CellMix(comb=0.5, seq=0.5, buf=0.0, sram=0.0)
+        counts = _family_counts(mix, 1000)
+        assert counts["comb"] == 500
+        assert counts["seq"] == 500
+        assert counts["buf"] == 0
+
+    def test_rounding_favors_largest_remainder(self):
+        mix = CellMix(comb=0.335, seq=0.335, buf=0.33, sram=0.0)
+        counts = _family_counts(mix, 10)
+        assert sum(counts.values()) == 10
+        assert counts["buf"] >= 3
+
+
+class TestWaferMath:
+    def test_wafer_loses_to_circumference(self):
+        """Die-per-wafer must be below pure area division (edge loss)."""
+        import math
+        radius = math.sqrt(SILICON_WAFER.format_area_mm2 / math.pi) - 3.0
+        pure = math.pi * radius ** 2 / (2.4 * 2.4)
+        n = units_per_format(2.2, 2.2, SILICON_WAFER)
+        assert n < pure
+
+    def test_panel_is_grid_packed(self):
+        n = units_per_format(10.0, 10.0, GLASS_PANEL)
+        # ~50x49 sites for a 510x515 panel with 10.2 mm pitch.
+        assert 2300 < n < 2600
+
+
+class TestSweepResult:
+    def _sweep(self, values, metric_values):
+        points = [SweepPoint(v, {"m": mv})
+                  for v, mv in zip(values, metric_values)]
+        return SweepResult(parameter="p", baseline="b", points=points)
+
+    def test_elasticity_of_linear_relation(self):
+        sw = self._sweep([1.0, 2.0], [10.0, 20.0])
+        assert sw.sensitivity("m") == pytest.approx(1.0)
+
+    def test_elasticity_of_inverse_relation(self):
+        sw = self._sweep([1.0, 2.0], [10.0, 5.0])
+        assert sw.sensitivity("m") == pytest.approx(-0.5)
+
+    def test_degenerate_cases(self):
+        assert self._sweep([1.0, 1.0], [1.0, 2.0]).sensitivity("m") == 0.0
+        assert self._sweep([1.0, 2.0], [0.0, 2.0]).sensitivity("m") == 0.0
+
+    def test_series_and_values(self):
+        sw = self._sweep([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert sw.values() == [1.0, 2.0, 3.0]
+        assert sw.series("m") == [4.0, 5.0, 6.0]

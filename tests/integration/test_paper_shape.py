@@ -1,0 +1,93 @@
+"""Cross-design shape checks at reduced scale.
+
+These integration tests assert the paper's qualitative findings hold for
+the whole pipeline run end to end (reduced netlists; the full-scale
+quantitative comparison lives in benchmarks/).
+"""
+
+import pytest
+
+from repro.core.flow import run_design
+
+SCALE = 0.03
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def designs():
+    names = ["glass_25d", "glass_3d", "silicon_25d", "shinko"]
+    return {n: run_design(n, scale=SCALE, seed=SEED) for n in names}
+
+
+class TestAreaStory:
+    def test_glass3d_smallest_interposer(self, designs):
+        areas = {n: d.placement.area_mm2 for n, d in designs.items()}
+        assert min(areas, key=areas.get) == "glass_3d"
+
+    def test_chiplet_footprints_glass_smallest(self, designs):
+        assert (designs["glass_25d"].logic.footprint_mm
+                <= designs["silicon_25d"].logic.footprint_mm)
+
+
+class TestWirelengthStory:
+    def test_glass3d_interposer_wl_collapse(self, designs):
+        g3 = sum(n.length_mm for n in designs["glass_3d"].route
+                 .routed_nets())
+        si = sum(n.length_mm for n in designs["silicon_25d"].route
+                 .routed_nets())
+        assert si > 5 * g3
+
+    def test_glass3d_uses_one_signal_layer(self, designs):
+        assert designs["glass_3d"].route.signal_layers_used == 1
+
+    def test_silicon_uses_fewest_25d_layers(self, designs):
+        assert (designs["silicon_25d"].route.signal_layers_used
+                <= designs["glass_25d"].route.signal_layers_used)
+
+
+class TestSignalIntegrityStory:
+    def test_glass3d_best_l2m_eye(self, designs):
+        heights = {n: d.l2m_eye.eye_height_v for n, d in designs.items()}
+        assert heights["glass_3d"] == max(heights.values())
+
+    def test_silicon_worst_l2m_eye(self, designs):
+        heights = {n: d.l2m_eye.eye_height_v for n, d in designs.items()}
+        assert heights["silicon_25d"] == min(heights.values())
+
+    def test_vertical_link_delay_collapse(self, designs):
+        assert (designs["glass_3d"].l2m_channel.interconnect_delay_ps
+                < designs["glass_25d"].l2m_channel
+                .interconnect_delay_ps / 3)
+
+
+class TestPowerIntegrityStory:
+    def test_pdn_impedance_ordering(self, designs):
+        z = {n: d.pdn_impedance.z_at_1ghz_ohm
+             for n, d in designs.items()}
+        assert z["glass_3d"] < z["silicon_25d"] < z["glass_25d"] \
+            < z["shinko"]
+
+    def test_glass3d_settles_fast(self, designs):
+        settles = {n: d.power_transient.settling_time_us
+                   for n, d in designs.items()}
+        assert settles["glass_3d"] <= settles["shinko"]
+
+
+class TestThermalStory:
+    def test_embedded_die_is_package_hotspot(self, designs):
+        rep = designs["glass_3d"].thermal
+        assert rep.die_peak("tile0_memory") >= rep.die_peak("tile0_logic")
+
+    def test_silicon_coolest(self, designs):
+        peaks = {n: d.thermal.peak_c for n, d in designs.items()}
+        assert peaks["silicon_25d"] == min(peaks.values())
+
+
+class TestFullChipStory:
+    def test_glass3d_lowest_system_power(self, designs):
+        power = {n: d.fullchip.total_power_mw for n, d in designs.items()}
+        assert power["glass_3d"] == min(power.values())
+
+    def test_links_meet_pipelined_timing(self, designs):
+        for d in designs.values():
+            assert d.fullchip.offchip_timing_met

@@ -1,0 +1,124 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.netlist import Netlist
+from repro.circuit import Circuit, driving_point_impedance
+from repro.si.eye import eye_metrics
+from repro.si.tline import microstrip_rlgc
+from repro.tech.stdcell import N28_LIB
+
+
+# --------------------------------------------------------------------- #
+# Netlist subset is a faithful partition.
+# --------------------------------------------------------------------- #
+
+@st.composite
+def random_netlist(draw):
+    n = draw(st.integers(min_value=4, max_value=30))
+    nl = Netlist("r", N28_LIB)
+    cells = ["INV_X1", "NAND2_X1", "DFF_X1"]
+    for i in range(n):
+        nl.add_instance(f"i{i}", draw(st.sampled_from(cells)), "m")
+    n_nets = draw(st.integers(min_value=1, max_value=2 * n))
+    for k in range(n_nets):
+        drv = f"i{draw(st.integers(0, n - 1))}"
+        sinks = [f"i{draw(st.integers(0, n - 1))}"
+                 for _ in range(draw(st.integers(1, 3)))]
+        nl.add_net(f"n{k}", drv, sinks)
+    return nl
+
+
+@settings(max_examples=20, deadline=None)
+@given(nl=random_netlist(), data=st.data())
+def test_subset_partitions_pins(nl, data):
+    """Every pin of the original netlist lands in exactly one subset."""
+    names = list(nl.instances)
+    mask = data.draw(st.lists(st.booleans(), min_size=len(names),
+                              max_size=len(names)))
+    left = [n for n, m in zip(names, mask) if m]
+    right = [n for n, m in zip(names, mask) if not m]
+    if not left or not right:
+        return
+    a = nl.subset(left)
+    b = nl.subset(right)
+    a.validate()
+    b.validate()
+
+    def pins(net):
+        return ([net.driver] if net.driver else []) + net.sinks
+
+    total = sum(len(pins(net)) for net in nl.nets.values())
+    got = (sum(len(pins(net)) for net in a.nets.values())
+           + sum(len(pins(net)) for net in b.nets.values()))
+    assert got == total
+
+
+# --------------------------------------------------------------------- #
+# Passive RC networks have passive driving-point impedances.
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       freq=st.floats(min_value=1e5, max_value=5e9))
+def test_rc_network_impedance_is_passive(seed, freq):
+    rng = np.random.default_rng(seed)
+    c = Circuit()
+    nodes = ["a", "b", "c", "d"]
+    for i, n1 in enumerate(nodes):
+        c.add_resistor(f"Rg{i}", n1, "0", float(rng.uniform(10, 1e4)))
+        c.add_capacitor(f"Cg{i}", n1, "0", float(rng.uniform(1e-15, 1e-9)))
+    for i, (n1, n2) in enumerate(zip(nodes, nodes[1:])):
+        c.add_resistor(f"Rs{i}", n1, n2, float(rng.uniform(1, 1e3)))
+    z = driving_point_impedance(c, "a", [freq]).values[0]
+    assert z.real > 0            # passivity
+    assert z.imag <= 1e-9        # RC networks are capacitive-or-resistive
+
+
+# --------------------------------------------------------------------- #
+# Eye metrics invariants.
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       vdd=st.floats(min_value=0.5, max_value=1.2))
+def test_eye_metrics_bounds(seed, vdd):
+    """Eye height <= swing; eye width <= UI; both non-negative."""
+    rng = np.random.default_rng(seed)
+    n = 32
+    high_min = rng.uniform(0.3 * vdd, vdd, size=n)
+    low_max = rng.uniform(0.0, 0.7 * vdd, size=n)
+    m = eye_metrics(high_min, low_max, bit_period=1e-9, vdd=vdd)
+    assert 0.0 <= m.eye_height_v <= vdd + 1e-9
+    assert 0.0 <= m.eye_width_ns <= 1.0 + 1e-9
+    if m.eye_height_v > 0:
+        # Height equals the best per-phase opening.
+        assert m.eye_height_v == pytest.approx(
+            float((high_min - low_max).max()))
+
+
+# --------------------------------------------------------------------- #
+# Microstrip RLGC scaling laws.
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=30, deadline=None)
+@given(w=st.floats(min_value=0.4, max_value=10),
+       t=st.floats(min_value=0.5, max_value=8),
+       h=st.floats(min_value=1.0, max_value=40),
+       er=st.floats(min_value=2.0, max_value=6.0))
+def test_rlgc_physical_invariants(w, t, h, er):
+    line = microstrip_rlgc(w, t, h, er, 0.005)
+    assert line.r_per_m > 0
+    assert line.c_per_m > 0
+    assert line.l_per_m > 0
+    # Phase velocity never exceeds c/sqrt(er) (TEM bound, exact here).
+    v = 1 / math.sqrt(line.l_per_m * line.c_per_m)
+    assert v == pytest.approx(299792458.0 / math.sqrt(er), rel=1e-9)
+    # Wider or thicker conductors always reduce resistance.
+    wider = microstrip_rlgc(w * 2, t, h, er, 0.005)
+    assert wider.r_per_m < line.r_per_m

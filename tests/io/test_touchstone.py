@@ -1,0 +1,94 @@
+"""Touchstone S-parameter I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.twoport import TwoPort
+from repro.io.touchstone import (SParameterData, read_touchstone,
+                                 sample_two_port, write_touchstone)
+from repro.tech.interconnect3d import tgv_model
+
+
+def tgv_response(n=20):
+    rlc = tgv_model()
+    freqs = np.logspace(6, 10, n)
+    return sample_two_port(
+        lambda f: TwoPort.from_rlc_pi(rlc, f), freqs)
+
+
+class TestSampling:
+    def test_shape(self):
+        data = tgv_response()
+        assert data.s.shape == (20, 2, 2)
+
+    def test_passivity(self):
+        assert tgv_response().is_passive()
+
+    def test_losses_monotone_sensible(self):
+        data = tgv_response()
+        il = data.insertion_loss_db()
+        assert (il <= 1e-9).all()          # passive: |S21| <= 1
+        assert il[0] > -0.5                # transparent at 1 MHz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SParameterData(np.array([1e6, 2e6]),
+                           np.zeros((3, 2, 2), dtype=complex))
+        with pytest.raises(ValueError):
+            SParameterData(np.array([2e6, 1e6]),
+                           np.zeros((2, 2, 2), dtype=complex))
+        with pytest.raises(ValueError):
+            SParameterData(np.array([1e6]),
+                           np.zeros((1, 2, 2), dtype=complex), z0=0.0)
+
+
+class TestRoundTrip:
+    def test_ri_roundtrip(self, tmp_path):
+        data = tgv_response()
+        path = str(tmp_path / "tgv.s2p")
+        write_touchstone(data, path, comment="TGV 30um/155um")
+        back = read_touchstone(path)
+        assert np.allclose(back.frequencies_hz, data.frequencies_hz)
+        assert np.allclose(back.s, data.s, atol=1e-8)
+        assert back.z0 == pytest.approx(50.0)
+
+    def test_comment_preserved_as_comment(self, tmp_path):
+        path = str(tmp_path / "c.s2p")
+        write_touchstone(tgv_response(4), path, comment="line one")
+        with open(path) as fh:
+            first = fh.readline()
+        assert first.startswith("! line one")
+
+    def test_reads_ma_format(self, tmp_path):
+        path = str(tmp_path / "ma.s2p")
+        with open(path, "w") as fh:
+            fh.write("# GHz S MA R 50\n")
+            fh.write("1.0 0.5 0.0 0.5 90.0 0.5 90.0 0.5 180.0\n")
+        data = read_touchstone(path)
+        assert data.frequencies_hz[0] == pytest.approx(1e9)
+        assert data.s[0, 0, 0] == pytest.approx(0.5)
+        assert data.s[0, 1, 0] == pytest.approx(0.5j)
+        assert data.s[0, 1, 1] == pytest.approx(-0.5)
+
+    def test_reads_db_format(self, tmp_path):
+        path = str(tmp_path / "db.s2p")
+        with open(path, "w") as fh:
+            fh.write("# MHz S DB R 75\n")
+            fh.write("100 -6.0206 0 -6.0206 0 -6.0206 0 -6.0206 0\n")
+        data = read_touchstone(path)
+        assert data.z0 == pytest.approx(75.0)
+        assert abs(data.s[0, 0, 0]) == pytest.approx(0.5, rel=1e-4)
+
+    def test_rejects_non_s_data(self, tmp_path):
+        path = str(tmp_path / "z.s2p")
+        with open(path, "w") as fh:
+            fh.write("# Hz Z RI R 50\n1e6 1 0 0 0 0 0 1 0\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_touchstone(path)
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = str(tmp_path / "bad.s2p")
+        with open(path, "w") as fh:
+            fh.write("# Hz S RI R 50\n1e6 1 0 0\n")
+        with pytest.raises(ValueError, match="9 columns"):
+            read_touchstone(path)

@@ -1,0 +1,60 @@
+"""Multi-way partitioning tests."""
+
+import pytest
+
+from repro.arch.generate import generate_tile_netlist
+from repro.partition.multiway import (multiway_cut_nets,
+                                      recursive_bisection)
+
+
+@pytest.fixture(scope="module")
+def tile():
+    return generate_tile_netlist(scale=0.015, seed=3)
+
+
+class TestRecursiveBisection:
+    def test_k_parts_produced(self, tile):
+        for k in (2, 3, 4):
+            result = recursive_bisection(tile, k)
+            assert result.k == k
+            assert set(result.assignment.values()) == set(range(k))
+
+    def test_parts_partition_instances(self, tile):
+        result = recursive_bisection(tile, 4)
+        total = sum(len(result.part(i)) for i in range(4))
+        assert total == len(tile.instances)
+
+    def test_k1_is_trivial(self, tile):
+        result = recursive_bisection(tile, 1)
+        assert result.k == 1
+        assert result.cut_size == 0
+
+    def test_2way_matches_bipartition_quality(self, tile):
+        from repro.partition.fm import fm_bipartition
+        two = recursive_bisection(tile, 2)
+        fm = fm_bipartition(tile, max_passes=5, seed=7)
+        assert two.cut_size < 3 * max(fm.cut_size, 1) + 50
+
+    def test_cut_grows_with_k(self, tile):
+        cuts = [recursive_bisection(tile, k).cut_size for k in (2, 4, 8)]
+        assert cuts[0] <= cuts[1] <= cuts[2]
+
+    def test_areas_not_degenerate(self, tile):
+        result = recursive_bisection(tile, 4)
+        areas = result.part_areas(tile)
+        assert min(areas) > 0.01 * max(areas)
+
+    def test_cut_nets_consistent(self, tile):
+        result = recursive_bisection(tile, 3)
+        assert result.cut_nets == multiway_cut_nets(tile,
+                                                    result.assignment)
+
+    def test_validation(self, tile):
+        with pytest.raises(ValueError):
+            recursive_bisection(tile, 0)
+        from repro.arch.netlist import Netlist
+        from repro.tech.stdcell import N28_LIB
+        tiny = Netlist("t", N28_LIB)
+        tiny.add_instance("a", "INV_X1")
+        with pytest.raises(ValueError):
+            recursive_bisection(tiny, 5)

@@ -1,0 +1,68 @@
+"""Unit tests for SerDes insertion."""
+
+import pytest
+
+from repro.arch.generate import generate_chiplet_netlist
+from repro.arch.modules import INTER_TILE_BUSES
+from repro.partition.serdes import (SerDesConfig, insert_serdes_cells,
+                                    serdes_cell_overhead, serialize_buses,
+                                    total_lanes)
+
+
+class TestSerialization:
+    def test_paper_lane_count(self):
+        serialized = serialize_buses(INTER_TILE_BUSES)
+        # 6 x 64/8 + 20 control = 68 (Section IV-A).
+        assert total_lanes(serialized) == 68
+
+    def test_control_bypass(self):
+        serialized = serialize_buses(INTER_TILE_BUSES)
+        ctrl = [s for s in serialized if s.bus.is_control]
+        assert all(not s.serialized for s in ctrl)
+        assert all(s.lanes == s.bus.width for s in ctrl)
+
+    def test_latency_matches_ratio(self):
+        serialized = serialize_buses(INTER_TILE_BUSES, SerDesConfig(ratio=8))
+        data = [s for s in serialized if s.serialized]
+        assert all(s.latency_cycles == 8 for s in data)
+
+    def test_ratio_4(self):
+        cfg = SerDesConfig(ratio=4, latency_cycles=4)
+        serialized = serialize_buses(INTER_TILE_BUSES, cfg)
+        assert total_lanes(serialized) == 6 * 16 + 20
+
+    def test_no_bypass_serializes_control(self):
+        cfg = SerDesConfig(ratio=4, latency_cycles=4, control_bypass=False)
+        serialized = serialize_buses(INTER_TILE_BUSES, cfg)
+        assert total_lanes(serialized) == 6 * 16 + 5
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            SerDesConfig(ratio=0)
+        with pytest.raises(ValueError):
+            SerDesConfig(latency_cycles=-1)
+
+
+class TestInsertion:
+    def test_overhead_counts(self):
+        serialized = serialize_buses(INTER_TILE_BUSES)
+        overhead = serdes_cell_overhead(serialized)
+        lanes = 48  # serialized data lanes only
+        assert overhead["DFF_X1"] == lanes * 16
+        assert overhead["MUX2_X1"] == lanes * 8
+
+    def test_insertion_adds_cells(self):
+        nl = generate_chiplet_netlist("logic", scale=0.01, seed=2)
+        before = len(nl)
+        serialized = serialize_buses(INTER_TILE_BUSES)
+        added = insert_serdes_cells(nl, serialized)
+        assert len(nl) == before + added
+        assert added == sum(serdes_cell_overhead(serialized).values())
+
+    def test_inserted_cells_are_connected(self):
+        nl = generate_chiplet_netlist("logic", scale=0.01, seed=2)
+        serialized = serialize_buses(INTER_TILE_BUSES)
+        insert_serdes_cells(nl, serialized)
+        nl.validate()
+        flop = "serdes/dff_x1_0"
+        assert nl.nets_of(flop)

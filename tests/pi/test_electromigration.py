@@ -1,0 +1,76 @@
+"""PDN electromigration check tests."""
+
+import pytest
+
+from repro.chiplet.bumps import plan_for_design
+from repro.interposer.pdn import build_pdn
+from repro.interposer.placement import place_dies
+from repro.pi.electromigration import (COPPER_EM_LIMIT_A_CM2,
+                                       SOLDER_EM_LIMIT_A_CM2, check_pdn_em)
+from repro.tech.interposer import GLASS_25D, SILICON_25D
+
+POWER = {"tile0_logic": 0.142, "tile0_memory": 0.046,
+         "tile1_logic": 0.142, "tile1_memory": 0.046}
+
+
+def setup(spec):
+    lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+    mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+    pl = place_dies(spec, lp, mp)
+    plans = {d.name: (lp if d.kind == "logic" else mp)
+             for d in pl.dies}
+    return pl, build_pdn(pl), plans
+
+
+class TestEmChecks:
+    def test_paper_design_passes(self):
+        """At ~0.38 W the paper's designs are far from EM limits."""
+        pl, pdn, plans = setup(GLASS_25D)
+        report = check_pdn_em(pdn, plans, POWER)
+        assert report.all_pass
+        assert report.worst.margin > 3.0
+
+    def test_check_structures_present(self):
+        pl, pdn, plans = setup(GLASS_25D)
+        report = check_pdn_em(pdn, plans, POWER)
+        names = {c.structure for c in report.checks}
+        assert "feed_via" in names
+        assert "plane_edge" in names
+        assert "bump_tile0_logic" in names
+
+    def test_bumps_bind_before_vias(self):
+        """Solder limits are ~100x below copper: bumps are the weak
+        link, as packaging practice expects."""
+        pl, pdn, plans = setup(GLASS_25D)
+        report = check_pdn_em(pdn, plans, POWER)
+        assert report.worst.structure.startswith("bump_")
+
+    def test_overload_fails(self):
+        pl, pdn, plans = setup(GLASS_25D)
+        heavy = {k: v * 2000 for k, v in POWER.items()}
+        report = check_pdn_em(pdn, plans, heavy)
+        assert not report.all_pass
+        assert report.worst.margin < 1.0
+
+    def test_margin_scales_inverse_power(self):
+        pl, pdn, plans = setup(SILICON_25D)
+        base = check_pdn_em(pdn, plans, POWER)
+        double = check_pdn_em(pdn, plans,
+                              {k: 2 * v for k, v in POWER.items()})
+        assert double.worst.margin == pytest.approx(
+            base.worst.margin / 2, rel=1e-6)
+
+    def test_missing_power_rejected(self):
+        pl, pdn, plans = setup(GLASS_25D)
+        with pytest.raises(KeyError):
+            check_pdn_em(pdn, plans, {"tile0_logic": 0.1})
+
+    def test_limits_sane(self):
+        assert COPPER_EM_LIMIT_A_CM2 > 10 * SOLDER_EM_LIMIT_A_CM2
+
+    def test_by_name_lookup(self):
+        pl, pdn, plans = setup(GLASS_25D)
+        report = check_pdn_em(pdn, plans, POWER)
+        assert report.by_name("feed_via").passes
+        with pytest.raises(KeyError):
+            report.by_name("nothing")

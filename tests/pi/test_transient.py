@@ -1,0 +1,57 @@
+"""Regulator/PDN transient tests (Table IV settling-time row)."""
+
+import pytest
+
+from repro.chiplet.bumps import plan_for_design
+from repro.interposer.pdn import build_pdn
+from repro.interposer.placement import place_dies
+from repro.pi.transient import analyze_power_transient
+from repro.tech.interposer import (APX, GLASS_25D, GLASS_3D, SHINKO,
+                                   SILICON_25D)
+
+
+def pdn_for(spec):
+    lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+    mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+    return build_pdn(place_dies(spec, lp, mp))
+
+
+@pytest.fixture(scope="module")
+def transients():
+    return {s.name: analyze_power_transient(pdn_for(s), 0.376)
+            for s in (GLASS_25D, GLASS_3D, SILICON_25D, SHINKO, APX)}
+
+
+class TestSettling:
+    def test_settling_in_paper_band(self, transients):
+        # Table IV: 3.7-5.4 us.
+        for name, rep in transients.items():
+            assert 2.5 < rep.settling_time_us < 6.5, name
+
+    def test_organics_settle_slowest(self, transients):
+        settle = {k: v.settling_time_us for k, v in transients.items()}
+        slowest = max(settle, key=settle.get)
+        assert slowest in ("shinko", "apx")
+
+    def test_glass3d_among_fastest(self, transients):
+        settle = sorted(transients.items(),
+                        key=lambda kv: kv[1].settling_time_us)
+        first_two = {settle[0][0], settle[1][0]}
+        assert "glass_3d" in first_two
+
+    def test_rail_reaches_target(self, transients):
+        for rep in transients.values():
+            assert rep.final_voltage_v == pytest.approx(0.88, abs=0.04)
+
+    def test_droop_ordering_follows_pdn_inductance(self, transients):
+        assert transients["shinko"].droop_mv > \
+            transients["glass_3d"].droop_mv
+
+    def test_waveform_recorded(self, transients):
+        rep = transients["glass_3d"]
+        assert len(rep.time_s) == len(rep.rail_v)
+        assert rep.time_s[-1] == pytest.approx(8e-6, rel=1e-6)
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_power_transient(pdn_for(GLASS_3D), 0.0)

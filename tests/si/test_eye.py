@@ -1,0 +1,98 @@
+"""Eye-diagram engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.si.crosstalk import coupled_line_for_spec
+from repro.si.eye import eye_metrics, fold_eye, simulate_eye
+from repro.si.tline import line_for_spec
+from repro.tech.interconnect3d import stacked_via_model
+from repro.tech.interposer import GLASS_25D, GLASS_3D, SILICON_25D
+
+
+class TestFoldEye:
+    def _ideal(self, bits, ui=1e-9, spb=50, vdd=1.0):
+        t = np.arange(len(bits) * spb) * (ui / spb)
+        wave = np.repeat(np.array(bits, float) * vdd, spb)
+        return t, wave
+
+    def test_clean_nrz_fully_open(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        t, wave = self._ideal(bits)
+        hi, lo = fold_eye(t, wave, bits, 1e-9, latency=0.0,
+                          samples_per_ui=25)
+        m = eye_metrics(hi, lo, 1e-9, vdd=1.0)
+        assert m.eye_height_v == pytest.approx(1.0)
+        assert m.eye_width_ns == pytest.approx(1.0)
+
+    def test_constant_stream_has_nan_side(self):
+        bits = [1, 1, 1, 1]
+        t, wave = self._ideal(bits)
+        hi, lo = fold_eye(t, wave, bits, 1e-9, latency=0.0)
+        assert np.isnan(lo).all()
+        assert not np.isnan(hi).any()
+
+    def test_closed_eye_metrics_zero(self):
+        hi = np.full(16, 0.4)
+        lo = np.full(16, 0.6)  # lows above highs: closed
+        m = eye_metrics(hi, lo, 1e-9, vdd=1.0)
+        assert m.eye_height_v == 0.0
+        assert m.eye_width_ns == 0.0
+        assert not m.is_open
+
+    def test_partial_closure_width(self):
+        n = 32
+        hi = np.full(n, 0.9)
+        lo = np.full(n, 0.1)
+        hi[10:18] = 0.45  # dips below mid-rail in a window
+        m = eye_metrics(hi, lo, 1e-9, vdd=0.9)
+        assert m.eye_width_ns == pytest.approx((n - 8) / n, rel=1e-6)
+
+    def test_latency_alignment(self):
+        bits = [1, 0, 1, 0, 1, 1, 0, 0]
+        t, wave = self._ideal(bits)
+        shift = 12
+        shifted = np.concatenate([np.full(shift, wave[0]), wave])[:len(wave)]
+        hi, lo = fold_eye(t, shifted, bits, 1e-9,
+                          latency=shift * (1e-9 / 50))
+        m = eye_metrics(hi, lo, 1e-9, vdd=1.0)
+        assert m.eye_height_v == pytest.approx(1.0)
+
+
+class TestSimulateEye:
+    def test_vertical_link_near_ideal(self):
+        eye = simulate_eye(lumped=stacked_via_model(), num_bits=32)
+        assert eye.eye_height_v > 0.85
+        assert eye.eye_width_ns > 0.9 * eye.ui_ns
+
+    def test_crosstalk_closes_eye(self):
+        line = line_for_spec(SILICON_25D)
+        coupled = coupled_line_for_spec(SILICON_25D)
+        clean = simulate_eye(line=line, length_um=1952, num_bits=32,
+                             aggressors=0)
+        noisy = simulate_eye(line=line, length_um=1952, num_bits=32,
+                             coupled=coupled, aggressors=2)
+        assert noisy.eye_height_v < clean.eye_height_v
+
+    def test_glass3d_beats_silicon_lateral(self):
+        """The Fig. 14 headline: stacked-via link has the best eye."""
+        g3 = simulate_eye(lumped=stacked_via_model(),
+                          coupled=coupled_line_for_spec(GLASS_3D),
+                          num_bits=32)
+        si = simulate_eye(line=line_for_spec(SILICON_25D), length_um=1952,
+                          coupled=coupled_line_for_spec(SILICON_25D),
+                          num_bits=32)
+        assert g3.eye_height_v > si.eye_height_v
+        assert g3.eye_width_ns >= si.eye_width_ns
+
+    def test_needs_exactly_one_interconnect(self):
+        with pytest.raises(ValueError):
+            simulate_eye()
+        with pytest.raises(ValueError):
+            simulate_eye(line=line_for_spec(GLASS_25D), length_um=100,
+                         lumped=stacked_via_model())
+
+    def test_data_rate_sets_ui(self):
+        eye = simulate_eye(lumped=stacked_via_model(), num_bits=24,
+                           data_rate_gbps=1.4)
+        assert eye.ui_ns == pytest.approx(1 / 1.4, rel=1e-6)

@@ -1,0 +1,85 @@
+"""PVT corner derating tests."""
+
+import pytest
+
+from repro.tech.corners import (CORNERS, Corner, FF_CORNER, SS_CORNER,
+                                TT_CORNER, corner_speed_ratio,
+                                derate_library)
+from repro.tech.stdcell import N28_LIB
+
+
+class TestCornerDefinitions:
+    def test_three_corners_registered(self):
+        assert set(CORNERS) == {"ss", "tt", "ff"}
+
+    def test_speed_ordering(self):
+        assert corner_speed_ratio(SS_CORNER) < \
+            corner_speed_ratio(TT_CORNER) < corner_speed_ratio(FF_CORNER)
+
+    def test_tt_is_unity(self):
+        assert corner_speed_ratio(TT_CORNER) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Corner("bad", process_speed=0.0, process_leakage=1.0,
+                   vdd=0.9, temperature_c=25.0)
+
+
+class TestDeratedLibraries:
+    def test_tt_library_matches_base(self):
+        lib = derate_library(TT_CORNER)
+        base = N28_LIB.get("INV_X1")
+        derated = lib.get("INV_X1")
+        assert derated.drive_res_ohm == pytest.approx(
+            base.drive_res_ohm, rel=1e-9)
+        assert derated.leakage_nw == pytest.approx(base.leakage_nw,
+                                                   rel=1e-9)
+
+    def test_ss_is_slower(self):
+        ss = derate_library(SS_CORNER).get("INV_X1")
+        tt = N28_LIB.get("INV_X1")
+        assert ss.drive_res_ohm > 1.2 * tt.drive_res_ohm
+        assert ss.intrinsic_delay_ps > tt.intrinsic_delay_ps
+
+    def test_ff_is_faster_and_leakier(self):
+        ff = derate_library(FF_CORNER).get("INV_X1")
+        tt = N28_LIB.get("INV_X1")
+        assert ff.drive_res_ohm < tt.drive_res_ohm
+        assert ff.leakage_nw > tt.leakage_nw
+
+    def test_ss_hot_leakage_exceeds_typical(self):
+        """SS silicon leaks less at 25 C, but at 125 C the exponential
+        temperature term wins."""
+        ss = derate_library(SS_CORNER).get("INV_X1")
+        tt = N28_LIB.get("INV_X1")
+        assert ss.leakage_nw > tt.leakage_nw
+
+    def test_internal_energy_tracks_v2(self):
+        ss = derate_library(SS_CORNER).get("DFF_X1")
+        tt = N28_LIB.get("DFF_X1")
+        assert ss.internal_energy_fj == pytest.approx(
+            tt.internal_energy_fj * (0.81 / 0.9) ** 2, rel=1e-9)
+
+    def test_vdd_propagates(self):
+        assert derate_library(SS_CORNER).vdd == pytest.approx(0.81)
+
+    def test_areas_unchanged(self):
+        ss = derate_library(SS_CORNER)
+        for cell in N28_LIB.cells():
+            assert ss.get(cell.name).area_um2 == cell.area_um2
+
+
+class TestCornerFlow:
+    def test_fmax_spread_across_corners(self):
+        """SS < TT < FF Fmax through the full chiplet flow — the SS
+        corner is where the paper's 700 MHz target is actually hard."""
+        from repro.chiplet.design import build_chiplet
+        from repro.tech.interposer import GLASS_25D
+        fmax = {}
+        for key, corner in CORNERS.items():
+            lib = derate_library(corner)
+            r = build_chiplet("memory", GLASS_25D, scale=0.02, seed=7,
+                              library=lib)
+            fmax[key] = r.fmax_mhz
+        assert fmax["ss"] < fmax["tt"] < fmax["ff"]
+        assert fmax["ss"] > 0.7 * fmax["tt"]

@@ -1,0 +1,82 @@
+"""Electrothermal co-simulation tests."""
+
+import pytest
+
+from repro.chiplet.bumps import plan_for_design
+from repro.interposer.placement import place_dies
+from repro.thermal.electrothermal import (leakage_at,
+                                          solve_electrothermal)
+from repro.tech.interposer import GLASS_3D
+
+DYN = {"tile0_logic": 0.135, "tile0_memory": 0.044,
+       "tile1_logic": 0.135, "tile1_memory": 0.044}
+LEAK = {"tile0_logic": 0.0069, "tile0_memory": 0.0018,
+        "tile1_logic": 0.0069, "tile1_memory": 0.0018}
+
+
+@pytest.fixture(scope="module")
+def placement():
+    lp = plan_for_design(GLASS_3D, "logic", cell_area_um2=465_000)
+    mp = plan_for_design(GLASS_3D, "memory", cell_area_um2=485_000)
+    return place_dies(GLASS_3D, lp, mp)
+
+
+class TestLeakageModel:
+    def test_reference_point(self):
+        assert leakage_at(6.85, 25.0) == pytest.approx(6.85)
+
+    def test_doubles_per_t0_ln2(self):
+        import math
+        t_double = 25.0 + 25.0 * math.log(2)
+        assert leakage_at(1.0, t_double) == pytest.approx(2.0, rel=1e-9)
+
+    def test_cooler_means_less(self):
+        assert leakage_at(5.0, 0.0) < 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            leakage_at(-1.0, 30.0)
+
+
+class TestLoop:
+    def test_converges_at_paper_power(self, placement):
+        result = solve_electrothermal(placement, DYN, LEAK)
+        assert result.converged
+        assert result.iterations <= 6
+
+    def test_hot_leakage_exceeds_reference(self, placement):
+        result = solve_electrothermal(placement, DYN, LEAK)
+        # Dies sit above 25 C, so leakage must be uplifted.
+        assert result.leakage_uplift_pct > 0
+        assert result.leakage_uplift_pct < 60
+
+    def test_final_power_exceeds_dynamic(self, placement):
+        result = solve_electrothermal(placement, DYN, LEAK)
+        for name, p in result.die_power_w.items():
+            assert p > DYN[name]
+
+    def test_history_monotone_heating(self, placement):
+        result = solve_electrothermal(placement, DYN, LEAK)
+        for a, b in zip(result.history, result.history[1:]):
+            assert b >= a - 1e-6
+
+    def test_runaway_flagged(self, placement):
+        """Absurd leakage with a fast exponential must fail to settle
+        within the iteration budget (incipient runaway)."""
+        big_leak = {k: 0.15 for k in LEAK}
+        result = solve_electrothermal(placement, DYN, big_leak,
+                                      max_iterations=3, tolerance_k=0.01,
+                                      t0_k=8.0)
+        assert not result.converged
+
+    def test_missing_die_rejected(self, placement):
+        with pytest.raises(KeyError):
+            solve_electrothermal(placement, {"tile0_logic": 0.1}, LEAK)
+
+    def test_embedded_die_gains_most(self, placement):
+        """The glass 3D memory die is the hottest, so its leakage uplift
+        is the largest — thermal and electrical worst cases coincide."""
+        result = solve_electrothermal(placement, DYN, LEAK)
+        uplift = {n: (result.die_power_w[n] - DYN[n]) / LEAK[n]
+                  for n in DYN}
+        assert uplift["tile0_memory"] >= uplift["tile0_logic"] - 0.05

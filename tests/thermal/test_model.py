@@ -1,0 +1,93 @@
+"""Package thermal model tests (Figs. 17/18 shape)."""
+
+import pytest
+
+from repro.chiplet.bumps import plan_for_design
+from repro.interposer.placement import place_dies
+from repro.thermal.model import (analyze_package_thermal,
+                                 build_package_grid, build_stack_grid,
+                                 substrate_conductivity)
+from repro.tech.interposer import (GLASS_25D, GLASS_3D, SILICON_25D,
+                                   SILICON_3D)
+
+POWER = {"tile0_logic": 0.142, "tile0_memory": 0.046,
+         "tile1_logic": 0.142, "tile1_memory": 0.046}
+
+
+def placement_for(spec):
+    lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
+    mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
+    return place_dies(spec, lp, mp)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {s.name: analyze_package_thermal(placement_for(s), POWER,
+                                            grid_n=30)
+            for s in (GLASS_25D, GLASS_3D, SILICON_25D, SILICON_3D)}
+
+
+class TestThermalShape:
+    def test_all_temps_above_ambient(self, reports):
+        for rep in reports.values():
+            for die in rep.dies.values():
+                assert die.peak_c > 20.0
+
+    def test_temps_in_paper_ballpark(self, reports):
+        # Paper Fig. 17: 22-34 C range for interposers.
+        for name, rep in reports.items():
+            if name == "silicon_3d":
+                continue
+            for die in rep.dies.values():
+                assert 20.0 < die.peak_c < 45.0, name
+
+    def test_glass3d_memory_hotter_than_logic(self, reports):
+        """The embedded-die hotspot (Fig. 17's 34 C vs 27 C)."""
+        rep = reports["glass_3d"]
+        assert rep.die_peak("tile0_memory") > rep.die_peak("tile0_logic")
+
+    def test_glass3d_memory_hottest_memory(self, reports):
+        mem = {k: v.die_peak("tile0_memory") for k, v in reports.items()
+               if k != "silicon_3d"}
+        assert max(mem, key=mem.get) == "glass_3d"
+
+    def test_silicon_spreads_best_in_25d(self, reports):
+        assert reports["silicon_25d"].peak_c < reports["glass_25d"].peak_c
+
+    def test_silicon_3d_stack_runs_hottest(self, reports):
+        others = [v.peak_c for k, v in reports.items()
+                  if k != "silicon_3d"]
+        assert reports["silicon_3d"].peak_c > max(others)
+
+    def test_thermal_increase_vs_silicon(self, reports):
+        """The abstract's ~35% thermal increase for glass."""
+        g3 = reports["glass_3d"].peak_c - 20.0
+        si = reports["silicon_25d"].peak_c - 20.0
+        assert g3 > 1.2 * si
+
+
+class TestModelConstruction:
+    def test_substrate_conductivities(self):
+        assert substrate_conductivity(placement_for(SILICON_25D)) > 100
+        assert substrate_conductivity(placement_for(GLASS_25D)) < 2
+
+    def test_stack_builder_guard(self):
+        with pytest.raises(ValueError):
+            build_stack_grid(placement_for(GLASS_25D), POWER)
+        with pytest.raises(ValueError):
+            build_package_grid(placement_for(SILICON_3D), POWER)
+
+    def test_missing_power_rejected(self):
+        with pytest.raises(KeyError):
+            build_package_grid(placement_for(GLASS_25D),
+                               {"tile0_logic": 0.1})
+
+    def test_power_conserved_in_grid(self):
+        grid = build_package_grid(placement_for(GLASS_25D), POWER,
+                                  grid_n=30)
+        assert grid.q.sum() == pytest.approx(sum(POWER.values()))
+
+    def test_surface_map_shape(self, reports):
+        rep = reports["glass_25d"]
+        assert rep.surface_map_c.ndim == 2
+        assert rep.surface_map_c.min() >= 19.9

@@ -1,0 +1,86 @@
+"""Thermal transient solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.transient import (simulate_thermal_transient,
+                                     volumetric_capacity_for_k)
+
+
+def small_grid(power=0.3, h=2000.0):
+    g = ThermalGrid(8, 8, [100e-6] * 3, 100e-6, 100e-6, ambient_c=25.0)
+    for z in range(3):
+        g.set_layer_k(z, 5.0)
+    g.h_top = h
+    g.h_bottom = h
+    g.add_power(1, 2, 6, 2, 6, power)
+    return g
+
+
+class TestTransient:
+    def test_starts_at_ambient(self):
+        res = simulate_thermal_transient(small_grid(), 0.05, 1e-3,
+                                         probes={"c": (1, 4, 4)})
+        assert res.probe("c")[0] == pytest.approx(25.0)
+
+    def test_monotone_heating(self):
+        res = simulate_thermal_transient(small_grid(), 0.05, 1e-3,
+                                         probes={"c": (1, 4, 4)})
+        wave = res.probe("c")
+        assert (np.diff(wave) >= -1e-9).all()
+
+    def test_converges_to_steady_state(self):
+        g = small_grid()
+        steady = g.solve().temperature_c[1, 4, 4]
+        res = simulate_thermal_transient(g, 2.0, 5e-3,
+                                         probes={"c": (1, 4, 4)})
+        assert res.probe("c")[-1] == pytest.approx(steady, rel=0.02)
+
+    def test_time_constant_positive(self):
+        res = simulate_thermal_transient(small_grid(), 0.5, 2e-3,
+                                         probes={"c": (1, 4, 4)})
+        tau = res.time_constant_s("c")
+        assert 0 < tau < 0.5
+
+    def test_power_step_via_scale(self):
+        g = small_grid()
+        res = simulate_thermal_transient(
+            g, 0.2, 2e-3, probes={"c": (1, 4, 4)},
+            power_scale=lambda t: 1.0 if t > 0.1 else 0.0)
+        wave = res.probe("c")
+        before = wave[res.time_s <= 0.1]
+        assert np.allclose(before, 25.0, atol=1e-6)
+        assert wave[-1] > 26.0
+
+    def test_start_from_steady_state_is_flat(self):
+        g = small_grid()
+        res = simulate_thermal_transient(g, 0.05, 1e-3,
+                                         probes={"c": (1, 4, 4)},
+                                         start_at_ambient=False)
+        wave = res.probe("c")
+        assert np.allclose(wave, wave[0], rtol=1e-3)
+
+    def test_higher_capacity_slower(self):
+        # Bigger cells (thicker layers) heat more slowly.
+        thin = small_grid()
+        thick = ThermalGrid(8, 8, [400e-6] * 3, 100e-6, 100e-6,
+                            ambient_c=25.0)
+        for z in range(3):
+            thick.set_layer_k(z, 5.0)
+        thick.h_top = thick.h_bottom = 2000.0
+        thick.add_power(1, 2, 6, 2, 6, 0.3)
+        r_thin = simulate_thermal_transient(thin, 1.0, 5e-3,
+                                            probes={"c": (1, 4, 4)})
+        r_thick = simulate_thermal_transient(thick, 1.0, 5e-3,
+                                             probes={"c": (1, 4, 4)})
+        assert r_thick.time_constant_s("c") > r_thin.time_constant_s("c")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_thermal_transient(small_grid(), 1e-3, 1e-2,
+                                       probes={})
+
+    def test_capacity_heuristic(self):
+        assert volumetric_capacity_for_k(149.0) == pytest.approx(1.66e6)
+        assert volumetric_capacity_for_k(1.1) == pytest.approx(1.75e6)
