@@ -13,11 +13,14 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro.core.flow import run_design, run_monolithic  # noqa: E402
+from repro.core.flow import run_designs, run_monolithic  # noqa: E402
 from repro.tech.interposer import spec_names  # noqa: E402
 
 #: Paper-scale reproduction.
 FULL_SCALE = 1.0
+
+#: Worker processes for the design fan-out (REPRO_JOBS=4 to parallelize).
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
                            "results")
@@ -35,8 +38,7 @@ def write_result(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def full_designs():
     """All six design points at paper scale (cached across benches)."""
-    return {name: run_design(name, scale=FULL_SCALE)
-            for name in spec_names()}
+    return run_designs(spec_names(), scale=FULL_SCALE, jobs=JOBS)
 
 
 @pytest.fixture(scope="session")

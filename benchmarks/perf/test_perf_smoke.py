@@ -1,0 +1,104 @@
+"""Quick performance smoke checks (``pytest -m perf_smoke benchmarks/perf``).
+
+Two jobs:
+
+* Run one small-scale design point end to end and dump its per-stage
+  wall times to ``results/BENCH_flow.json`` so stage-level regressions
+  show up in review diffs.
+* Time the transient engine on a fixed PDN-style circuit and fail if it
+  runs more than ``REGRESSION_FACTOR`` slower than the recorded baseline
+  in ``baseline.json``.  Re-record with ``REPRO_PERF_REBASE=1`` after an
+  intentional change (or on a machine much slower than the one that
+  recorded it).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.circuit.elements import Circuit
+from repro.circuit.transient import simulate
+from repro.circuit.waveforms import dc, pulse
+from repro.core.flow import clear_cache, run_design
+
+pytestmark = pytest.mark.perf_smoke
+
+HERE = os.path.dirname(__file__)
+BASELINE_PATH = os.path.join(HERE, "baseline.json")
+RESULTS_DIR = os.path.join(HERE, os.pardir, os.pardir, "results")
+
+#: Fail when simulate() is more than this factor slower than baseline.
+REGRESSION_FACTOR = 2.0
+
+#: Timing repetitions; the minimum is reported (least-noise estimator).
+REPS = 3
+
+
+def _pdn_ladder(sections: int = 40) -> Circuit:
+    """A PDN-style RLC ladder with a switching load — the shape of
+    circuit the flow's PI and SI stages feed to ``simulate``."""
+    ckt = Circuit()
+    ckt.add_vsource("VRM", "n0", "0", dc(0.9))
+    for i in range(sections):
+        a, b = f"n{i}", f"n{i + 1}"
+        ckt.add_resistor(f"R{i}", a, b, 0.01)
+        ckt.add_inductor(f"L{i}", a, b + "_x", 1e-11)
+        ckt.add_resistor(f"Rl{i}", b + "_x", b, 0.001)
+        ckt.add_capacitor(f"C{i}", b, "0", 1e-9)
+    ckt.add_isource("Iload", f"n{sections}", "0",
+                    pulse(0.0, 1.0, 1e-9, 2e-10, 2e-10, 5e-9, 2e-8))
+    return ckt
+
+
+def _time_simulate() -> float:
+    ckt = _pdn_ladder()
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        simulate(ckt, 1e-7, 5e-11, record=["n40"])
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_flow_stage_times_recorded():
+    """One small design end to end; per-stage times go to results/."""
+    clear_cache()
+    t0 = time.perf_counter()
+    result = run_design("glass_25d", scale=0.02, seed=7, use_cache=False)
+    wall = time.perf_counter() - t0
+    assert result.stage_times is not None
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "design": "glass_25d",
+        "scale": 0.02,
+        "seed": 7,
+        "wall_s": round(wall, 3),
+        "stage_times_s": {k: round(v, 3)
+                          for k, v in result.stage_times.items()},
+    }
+    with open(os.path.join(RESULTS_DIR, "BENCH_flow.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    # Sanity: the stage breakdown accounts for most of the wall time.
+    accounted = sum(v for k, v in result.stage_times.items()
+                    if k != "total")
+    assert accounted <= result.stage_times["total"] * 1.05
+
+
+def test_simulate_not_regressed():
+    """Transient engine must stay within 2x of the recorded baseline."""
+    elapsed = _time_simulate()
+    if os.environ.get("REPRO_PERF_REBASE") == "1" \
+            or not os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump({"simulate_pdn_ladder_s": round(elapsed, 4)}, fh,
+                      indent=2)
+            fh.write("\n")
+        pytest.skip(f"baseline recorded: {elapsed:.4f}s")
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)["simulate_pdn_ladder_s"]
+    assert elapsed <= baseline * REGRESSION_FACTOR, (
+        f"simulate() took {elapsed:.4f}s vs baseline {baseline:.4f}s "
+        f"(>{REGRESSION_FACTOR}x regression)")

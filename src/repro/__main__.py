@@ -9,7 +9,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core.flow import run_design, run_monolithic
+from .core.flow import run_designs, run_monolithic
 from .core.report import format_comparison, format_table
 from .tech.interposer import spec_names
 
@@ -45,6 +45,9 @@ def main(argv=None) -> int:
                         help="skip thermal analysis")
     parser.add_argument("--signoff", action="store_true",
                         help="run the tape-out checklist per design")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for multi-design runs "
+                             "(default 1 = serial)")
     args = parser.parse_args(argv)
 
     if args.design == "monolithic":
@@ -61,14 +64,16 @@ def main(argv=None) -> int:
         return 0
 
     names = spec_names() if args.design == "all" else [args.design]
+    print(f"running {', '.join(names)} (scale={args.scale}, "
+          f"jobs={args.jobs})...", file=sys.stderr)
+    results = run_designs(names, scale=args.scale,
+                          with_eyes=not args.no_eyes,
+                          with_thermal=not args.no_thermal,
+                          jobs=args.jobs)
     rows = []
     signoffs = {}
     for name in names:
-        print(f"running {name} (scale={args.scale})...",
-              file=sys.stderr)
-        result = run_design(name, scale=args.scale,
-                            with_eyes=not args.no_eyes,
-                            with_thermal=not args.no_thermal)
+        result = results[name]
         rows.append(_summarize(name, result))
         if args.signoff:
             from .core.signoff import run_signoff

@@ -22,7 +22,9 @@ physical-design engines downstream rely on them:
 
 from __future__ import annotations
 
+import bisect
 import random
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..tech.stdcell import CellLibrary, N28_LIB
@@ -61,6 +63,37 @@ def _weighted(pool: Sequence, rng: random.Random, count: int) -> List[str]:
     names = [name for name, _ in pool]
     weights = [w for _, w in pool]
     return rng.choices(names, weights=weights, k=count)
+
+
+class _WeightedPicker:
+    """Stream-exact fast path for ``rng.choices(pop, weights=w, k=1)[0]``.
+
+    ``random.choices`` rebuilds the cumulative-weight table and runs its
+    argument checks on every call, which dominates the netlist
+    generator's inner loop.  This precomputes the table once and then
+    replicates CPython's draw exactly — one ``rng.random()`` consumed per
+    pick, same bisect over the same cumulative weights — so the generated
+    netlists are bit-identical to the ``choices`` version.
+    """
+
+    def __init__(self, pool: Sequence[Tuple[object, int]]):
+        self.population = [item for item, _ in pool]
+        cum: List[int] = []
+        running = 0
+        for _, w in pool:
+            running += w
+            cum.append(running)
+        self.cum_weights = cum
+        self.total = cum[-1] + 0.0  # matches CPython's float promotion
+        self.hi = len(self.population) - 1
+
+    def pick(self, rng: random.Random):
+        return self.population[bisect.bisect(
+            self.cum_weights, rng.random() * self.total, 0, self.hi)]
+
+
+_FANOUT_PICKER = _WeightedPicker(_FANOUT_WEIGHTS)
+_STRIDE_PICKER = _WeightedPicker(_STRIDE_WEIGHTS)
 
 
 def _family_counts(mix: CellMix, total: int) -> Dict[str, int]:
@@ -169,11 +202,6 @@ def generate_module(netlist: Netlist, spec: ModuleSpec, module_path: str,
             comb_global.append(idx)
 
     # --- combinational nets: level l -> level l+1, near in index ------- #
-    import bisect
-    strides = [s for s, _ in _STRIDE_WEIGHTS]
-    sweights = [w for _, w in _STRIDE_WEIGHTS]
-    fanouts = [f for f, _ in _FANOUT_WEIGHTS]
-    fweights = [w for _, w in _FANOUT_WEIGHTS]
     n_comb = len(comb_like)
     boundaries = cells.boundaries()
     n_bound = len(boundaries)
@@ -188,7 +216,7 @@ def generate_module(netlist: Netlist, spec: ModuleSpec, module_path: str,
 
     for ci, driver in enumerate(comb_like):
         level = ci % depth
-        fanout = rng.choices(fanouts, weights=fweights, k=1)[0]
+        fanout = _FANOUT_PICKER.pick(rng)
         sinks: List[str] = []
         if level == depth - 1 or n_comb <= depth:
             # Stage end: drive flop D-pins / SRAM address-data inputs.
@@ -199,7 +227,7 @@ def generate_module(netlist: Netlist, spec: ModuleSpec, module_path: str,
         else:
             # Next-level comb sinks at small index strides.
             for _ in range(fanout):
-                stride = rng.choices(strides, weights=sweights, k=1)[0]
+                stride = _STRIDE_PICKER.pick(rng)
                 sign = -1 if rng.random() < 0.3 else 1
                 j = ci + 1 + sign * stride * depth
                 j -= (j - (ci + 1)) % depth  # keep level(j) == level+1
@@ -218,7 +246,7 @@ def generate_module(netlist: Netlist, spec: ModuleSpec, module_path: str,
     # sparse and their list positions fluctuate against global indices.
     sram_set = set(cells.srams)
     for bi, boundary in enumerate(boundaries):
-        fanout = rng.choices(fanouts, weights=fweights, k=1)[0]
+        fanout = _FANOUT_PICKER.pick(rng)
         # SRAM read data feeds a single nearby mux/sense stage.
         if boundary in sram_set:
             fanout = 1
@@ -283,6 +311,33 @@ def _attach_bus_ports(netlist: Netlist, bus: BusSpec,
         netlist.add_port(net_name, direction, net_name, bus=bus.name)
 
 
+#: Memoized netlists, keyed by (kind, args).  Generation is deterministic
+#: in its arguments, and none of them depend on the interposer spec — so
+#: a six-design sweep regenerates identical logic/memory netlists six
+#: times.  The store hands out clones, so in-place passes downstream
+#: (SerDes insertion) can't corrupt the cached master.  Bounded LRU.
+_NETLIST_MEMO: "OrderedDict[Tuple, Netlist]" = OrderedDict()
+_NETLIST_MEMO_MAX = 12
+
+
+def clear_netlist_memo() -> None:
+    """Drop all memoized netlists (mainly for tests)."""
+    _NETLIST_MEMO.clear()
+
+
+def _memoized(key: Tuple, build) -> Netlist:
+    """Return a private clone of the netlist for ``key``, building once."""
+    master = _NETLIST_MEMO.get(key)
+    if master is None:
+        master = build()
+        _NETLIST_MEMO[key] = master
+        if len(_NETLIST_MEMO) > _NETLIST_MEMO_MAX:
+            _NETLIST_MEMO.popitem(last=False)
+    else:
+        _NETLIST_MEMO.move_to_end(key)
+    return master.clone()
+
+
 def generate_chiplet_netlist(chiplet: str, tile: int = 0,
                              scale: float = 1.0, seed: int = 2023,
                              library: Optional[CellLibrary] = None) -> Netlist:
@@ -298,8 +353,21 @@ def generate_chiplet_netlist(chiplet: str, tile: int = 0,
         tile: Tile index (0 or 1); only affects hierarchy labels.
         scale: Netlist size scale factor (1.0 = paper-size).
         seed: RNG seed; same seed → identical netlist.
-        library: Cell library; defaults to the N28 library.
+        library: Cell library; defaults to the N28 library.  Results are
+            memoized (and returned as private clones) when using the
+            default library.
     """
+    if library is None:
+        return _memoized(
+            ("chiplet", chiplet, tile, scale, seed),
+            lambda: _generate_chiplet_netlist(chiplet, tile, scale, seed,
+                                              None))
+    return _generate_chiplet_netlist(chiplet, tile, scale, seed, library)
+
+
+def _generate_chiplet_netlist(chiplet: str, tile: int, scale: float,
+                              seed: int,
+                              library: Optional[CellLibrary]) -> Netlist:
     lib = library or N28_LIB
     rng = random.Random(f"{seed}:{chiplet}:{tile}")
     netlist = Netlist(f"tile{tile}_{chiplet}", lib)
@@ -347,6 +415,15 @@ def generate_tile_netlist(tile: int = 0, scale: float = 1.0,
     min-cut partitioning rediscovers the logic/memory split from a flat
     netlist.  The intra-tile L3 buses become *internal* nets here.
     """
+    if library is None:
+        return _memoized(
+            ("tile", tile, scale, seed),
+            lambda: _generate_tile_netlist(tile, scale, seed, None))
+    return _generate_tile_netlist(tile, scale, seed, library)
+
+
+def _generate_tile_netlist(tile: int, scale: float, seed: int,
+                           library: Optional[CellLibrary]) -> Netlist:
     lib = library or N28_LIB
     rng = random.Random(f"{seed}:tile:{tile}")
     netlist = Netlist(f"tile{tile}", lib)
@@ -389,6 +466,16 @@ def generate_monolithic_netlist(num_tiles: int = 2, scale: float = 1.0,
     """
     if num_tiles < 1:
         raise ValueError("need at least one tile")
+    if library is None:
+        return _memoized(
+            ("mono", num_tiles, scale, seed),
+            lambda: _generate_monolithic_netlist(num_tiles, scale, seed,
+                                                 None))
+    return _generate_monolithic_netlist(num_tiles, scale, seed, library)
+
+
+def _generate_monolithic_netlist(num_tiles: int, scale: float, seed: int,
+                                 library: Optional[CellLibrary]) -> Netlist:
     lib = library or N28_LIB
     rng = random.Random(f"{seed}:mono")
     netlist = Netlist("monolithic", lib)

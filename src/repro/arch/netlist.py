@@ -114,6 +114,12 @@ class Netlist:
         self._ports: Dict[str, Port] = {}
         # instance name -> nets it touches, maintained incrementally.
         self._pins: Dict[str, Set[str]] = {}
+        # cell names already validated against the library, so repeated
+        # add_instance calls skip the library lookup.
+        self._known_cells: Set[str] = set()
+        # instance name -> resolved StdCell, filled lazily by cell();
+        # timing/power/route resolve cells per edge, so this lookup is hot.
+        self._cell_memo: Dict[str, StdCell] = {}
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -124,7 +130,9 @@ class Netlist:
         """Create and register an instance; cell must exist in the library."""
         if name in self._instances:
             raise ValueError(f"duplicate instance {name!r}")
-        self.library.get(cell_name)  # raises KeyError if unknown
+        if cell_name not in self._known_cells:
+            self.library.get(cell_name)  # raises KeyError if unknown
+            self._known_cells.add(cell_name)
         inst = Instance(name=name, cell_name=cell_name,
                         module_path=module_path)
         self._instances[name] = inst
@@ -137,8 +145,12 @@ class Netlist:
         if name in self._nets:
             raise ValueError(f"duplicate net {name!r}")
         sink_list = list(sinks)
-        for endpoint in ([driver] if driver else []) + sink_list:
-            if endpoint not in self._instances:
+        instances = self._instances
+        if driver and driver not in instances:
+            raise KeyError(f"net {name!r} references unknown instance "
+                           f"{driver!r}")
+        for endpoint in sink_list:
+            if endpoint not in instances:
                 raise KeyError(f"net {name!r} references unknown instance "
                                f"{endpoint!r}")
         net = Net(name=name, driver=driver, sinks=sink_list,
@@ -194,7 +206,12 @@ class Netlist:
 
     def cell(self, instance_name: str) -> StdCell:
         """The library cell of an instance."""
-        return self.library.get(self._instances[instance_name].cell_name)
+        cell = self._cell_memo.get(instance_name)
+        if cell is None:
+            cell = self.library.get(
+                self._instances[instance_name].cell_name)
+            self._cell_memo[instance_name] = cell
+        return cell
 
     def __len__(self) -> int:
         return len(self._instances)
@@ -249,6 +266,31 @@ class Netlist:
             if port.net not in self._nets:
                 raise ValueError(f"port {port.name!r} references missing net "
                                  f"{port.net!r}")
+
+    def clone(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-copy the netlist so mutations don't leak back.
+
+        The (immutable) cell library is shared; instances, nets, ports,
+        and the pin index are copied record by record — much faster than
+        ``copy.deepcopy`` and safe for downstream passes like SerDes
+        insertion that add instances and nets in place.
+        """
+        twin = Netlist(name or self.name, self.library)
+        twin._instances = {
+            n: Instance(name=i.name, cell_name=i.cell_name,
+                        module_path=i.module_path)
+            for n, i in self._instances.items()}
+        twin._nets = {
+            n: Net(name=net.name, driver=net.driver,
+                   sinks=list(net.sinks), is_clock=net.is_clock)
+            for n, net in self._nets.items()}
+        twin._ports = {
+            n: Port(name=p.name, direction=p.direction, net=p.net,
+                    bus=p.bus)
+            for n, p in self._ports.items()}
+        twin._pins = {n: set(s) for n, s in self._pins.items()}
+        twin._known_cells = set(self._known_cells)
+        return twin
 
     def subset(self, instance_names: Iterable[str],
                name: Optional[str] = None) -> "Netlist":

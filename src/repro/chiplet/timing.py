@@ -80,16 +80,22 @@ def analyze_timing(route: GlobalRoute,
     netlist = route.placement.netlist
     loads = route.net_load_ff()
 
+    # Resolve each instance's library cell once up front — is_seq and
+    # stage_delay run per *edge*, and the per-call library lookup used to
+    # dominate STA runtime on full-scale netlists.
+    cell_of = {n: netlist.cell(n) for n in netlist.instances}
+    # SRAM macros are synchronous (clocked) and bound pipeline stages
+    # exactly like flops.
+    seq = {n for n, c in cell_of.items()
+           if c.kind in (CellKind.SEQUENTIAL, CellKind.SRAM_MACRO)}
+
+    def is_seq(name: str) -> bool:
+        return name in seq
+
     # Per-instance output load: sum over driven (non-clock) nets.
     out_load: Dict[str, float] = {}
     fanout_edges: Dict[str, List[str]] = {n: [] for n in netlist.instances}
     indeg: Dict[str, int] = {n: 0 for n in netlist.instances}
-
-    def is_seq(name: str) -> bool:
-        # SRAM macros are synchronous (clocked) and bound pipeline stages
-        # exactly like flops.
-        return netlist.cell(name).kind in (CellKind.SEQUENTIAL,
-                                           CellKind.SRAM_MACRO)
 
     for net in netlist.nets.values():
         if net.is_clock or net.driver is None:
@@ -98,17 +104,24 @@ def analyze_timing(route: GlobalRoute,
             + loads.get(net.name, 0.0)
         for sink in net.sinks:
             fanout_edges[net.driver].append(sink)
-            if not is_seq(sink):
+            if sink not in seq:
                 indeg[sink] += 1
 
+    _delay_memo: Dict[str, float] = {}
+
     def stage_delay(name: str) -> float:
-        cell = netlist.cell(name)
+        d = _delay_memo.get(name)
+        if d is not None:
+            return d
+        cell = cell_of[name]
         load = out_load.get(name, 0.0)
         rc = cell.drive_res_ohm * load * 1e-3
         if rc > SIZING_THRESHOLD_PS:
             rc = max(SIZING_THRESHOLD_PS,
                      cell.drive_res_ohm / MAX_UPSIZE * load * 1e-3)
-        return cell.intrinsic_delay_ps + rc
+        d = cell.intrinsic_delay_ps + rc
+        _delay_memo[name] = d
+        return d
 
     # Kahn traversal over combinational nodes; flops are sources/sinks.
     arrival: Dict[str, float] = {}

@@ -19,10 +19,11 @@ Sign conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse
 
 from .elements import Circuit, is_ground
 
@@ -87,18 +88,223 @@ def _stamp_branch(A: np.ndarray, st: MnaStructure, row: int, i: int,
         A[row, j] -= 1.0
 
 
+class CircuitStamps:
+    """One-time vectorized stamp structure shared by DC, AC, and transient.
+
+    The MNA matrix of a linear circuit splits as ``A(s) = G + s * B``:
+    ``G`` carries the frequency-independent stamps (conductances, branch
+    incidences, VCVS gains) and ``B`` the reactance pattern (capacitances
+    into node conductance positions, ``-L`` on inductor branch diagonals,
+    ``-M`` between coupled branches).  Building both once per circuit
+    means DC (``G``), AC (``G + j omega B``), and trapezoidal transient
+    (``G + (2/dt) B``) all share one stamped structure instead of
+    re-walking the element lists per assembly.
+
+    Instances are cached on the circuit object and invalidated when the
+    element or node count changes, so frequency sweeps and repeated
+    solves pay for stamping exactly once.
+    """
+
+    def __init__(self, circuit: Circuit):
+        st = MnaStructure.of(circuit)
+        self.structure = st
+        n = st.size
+        G = np.zeros((n, n))
+        B = np.zeros((n, n))
+
+        for res in circuit.resistors:
+            _stamp_conductance(G, st.node(res.n1), st.node(res.n2),
+                               1.0 / res.resistance)
+        for idx, vs in enumerate(circuit.vsources):
+            _stamp_branch(G, st, st.vsrc_offset + idx,
+                          st.node(vs.n1), st.node(vs.n2))
+        for idx, e in enumerate(circuit.vcvs):
+            row = st.vcvs_offset + idx
+            _stamp_branch(G, st, row, st.node(e.out_pos), st.node(e.out_neg))
+            cp, cn = st.node(e.ctrl_pos), st.node(e.ctrl_neg)
+            if cp >= 0:
+                G[row, cp] -= e.gain
+            if cn >= 0:
+                G[row, cn] += e.gain
+        for idx, ind in enumerate(circuit.inductors):
+            row = st.ind_offset + idx
+            _stamp_branch(G, st, row, st.node(ind.n1), st.node(ind.n2))
+            B[row, row] -= ind.inductance
+        for cap in circuit.capacitors:
+            _stamp_conductance(B, st.node(cap.n1), st.node(cap.n2),
+                               cap.capacitance)
+        for mut in circuit.mutuals:
+            p1 = st.ind_offset + circuit.inductor_position(mut.l1)
+            p2 = st.ind_offset + circuit.inductor_position(mut.l2)
+            l1 = circuit.inductors[
+                circuit.inductor_position(mut.l1)].inductance
+            l2 = circuit.inductors[
+                circuit.inductor_position(mut.l2)].inductance
+            m = mut.k * np.sqrt(l1 * l2)
+            B[p1, p2] -= m
+            B[p2, p1] -= m
+        self.G = G
+        self.B = B
+        self._has_reactance = bool(circuit.capacitors or circuit.inductors
+                                   or circuit.mutuals)
+
+        # Element index arrays for vectorized RHS assembly / recording.
+        self.vsrc_rows = np.arange(st.vsrc_offset,
+                                   st.vsrc_offset + len(circuit.vsources))
+        self.vsrc_waves = [vs.waveform for vs in circuit.vsources]
+        self.isrc_waves = [cs.waveform for cs in circuit.isources]
+        self.ind_rows = np.arange(st.ind_offset,
+                                  st.ind_offset + len(circuit.inductors))
+        self.cap_c = np.array([c.capacitance for c in circuit.capacitors],
+                              dtype=float)
+        self.ind_l = np.array([l.inductance for l in circuit.inductors],
+                              dtype=float)
+        self.cap_nodes = [(st.node(c.n1), st.node(c.n2))
+                          for c in circuit.capacitors]
+        self.isrc_nodes = [(st.node(s.n1), st.node(s.n2))
+                           for s in circuit.isources]
+        self.ind_nodes = [(st.node(l.n1), st.node(l.n2))
+                          for l in circuit.inductors]
+        #: size x n_cap incidence: column k has +1 at the cap's n1 row and
+        #: -1 at its n2 row (ground rows dropped): RHS += inc @ i_hist.
+        self.cap_incidence = _incidence(n, self.cap_nodes, +1.0)
+        #: size x n_isrc incidence: -1 at n1, +1 at n2 (current pushed
+        #: from n1 into n2 through the external circuit).
+        self.isrc_incidence = _incidence(n, self.isrc_nodes, -1.0)
+        #: n_cap x size / n_ind x size difference operators: v = D @ x.
+        self.cap_diff = _difference(n, self.cap_nodes)
+        self.ind_diff = _difference(n, self.ind_nodes)
+        #: n_ind x n_ind mutual-coupling pattern (-M entries), or None.
+        if circuit.mutuals:
+            nl = len(circuit.inductors)
+            M = np.zeros((nl, nl))
+            for mut in circuit.mutuals:
+                p1 = circuit.inductor_position(mut.l1)
+                p2 = circuit.inductor_position(mut.l2)
+                m = mut.k * np.sqrt(
+                    circuit.inductors[p1].inductance
+                    * circuit.inductors[p2].inductance)
+                M[p1, p2] -= m
+                M[p2, p1] -= m
+            self.mutual_pattern: Optional[np.ndarray] = M
+        else:
+            self.mutual_pattern = None
+
+    @classmethod
+    def of(cls, circuit: Circuit) -> "CircuitStamps":
+        """The cached stamp structure of a circuit (built on first use)."""
+        sig = (circuit.element_count(), circuit.num_nodes())
+        cached = getattr(circuit, "_stamps_cache", None)
+        if cached is not None and cached[0] == sig:
+            return cached[1]
+        stamps = cls(circuit)
+        circuit._stamps_cache = (sig, stamps)
+        return stamps
+
+    # ------------------------------------------------------------------ #
+    # Matrix builders.
+    # ------------------------------------------------------------------ #
+
+    def dc_matrix(self) -> np.ndarray:
+        """A fresh copy of the DC system matrix (caps open, inductors
+        shorted through their branch rows)."""
+        return self.G.copy()
+
+    def ac_matrix(self, omega: float) -> np.ndarray:
+        """The complex AC system matrix ``G + j omega B``."""
+        if not self._has_reactance:
+            return self.G.astype(complex)
+        return self.G + (1j * omega) * self.B
+
+    def transient_matrix(self, dt: float) -> np.ndarray:
+        """The trapezoidal companion-model matrix ``G + (2/dt) B``."""
+        if not self._has_reactance:
+            return self.G.copy()
+        return self.G + (2.0 / dt) * self.B
+
+    # ------------------------------------------------------------------ #
+    # RHS builders.
+    # ------------------------------------------------------------------ #
+
+    def source_rhs(self, t: float, dtype=float) -> np.ndarray:
+        """The independent-source RHS vector with sources sampled at t."""
+        st = self.structure
+        z = np.zeros(st.size, dtype=dtype)
+        for row, wave in zip(self.vsrc_rows, self.vsrc_waves):
+            z[row] += wave(t)
+        for (i, j), wave in zip(self.isrc_nodes, self.isrc_waves):
+            value = wave(t)
+            if i >= 0:
+                z[i] -= value
+            if j >= 0:
+                z[j] += value
+        return z
+
+    def sample_waveforms(self, waves, times: np.ndarray) -> np.ndarray:
+        """Sample waveforms over a full time grid up front.
+
+        Returns an array of shape ``(len(waves), len(times))``.  Waveforms
+        exposing a vectorized ``.sample(times)`` (the common PWL / PRBS /
+        pulse sources from :mod:`repro.circuit.waveforms`) are evaluated
+        in one batched call; anything else falls back to per-point calls.
+        """
+        out = np.empty((len(waves), len(times)))
+        for k, wave in enumerate(waves):
+            sample = getattr(wave, "sample", None)
+            if sample is not None:
+                out[k] = sample(times)
+            else:
+                out[k] = [wave(t) for t in times]
+        return out
+
+
+def _incidence(size: int, node_pairs, sign: float):
+    """Sparse ``size x len(pairs)`` signed incidence matrix (ground
+    rows dropped): column k carries ``+sign`` at pair[0], ``-sign`` at
+    pair[1]."""
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for k, (i, j) in enumerate(node_pairs):
+        if i >= 0:
+            rows.append(i)
+            cols.append(k)
+            data.append(sign)
+        if j >= 0:
+            rows.append(j)
+            cols.append(k)
+            data.append(-sign)
+    return scipy.sparse.csr_matrix(
+        (data, (rows, cols)), shape=(size, len(node_pairs)))
+
+
+def _difference(size: int, node_pairs):
+    """Sparse ``len(pairs) x size`` difference operator: row k computes
+    ``x[pair[0]] - x[pair[1]]`` with ground terms dropped."""
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for k, (i, j) in enumerate(node_pairs):
+        if i >= 0:
+            rows.append(k)
+            cols.append(i)
+            data.append(1.0)
+        if j >= 0:
+            rows.append(k)
+            cols.append(j)
+            data.append(-1.0)
+    return scipy.sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(node_pairs), size))
+
+
 def assemble_dc(circuit: Circuit, t: float = 0.0):
     """Build the real DC MNA system ``A x = z`` with sources sampled at t.
 
     Capacitors are open; inductors are shorts (branch with zero series
     impedance).  Returns ``(structure, A, z)``.
     """
-    st = MnaStructure.of(circuit)
-    A = np.zeros((st.size, st.size))
-    z = np.zeros(st.size)
-    _stamp_common(A, z, st, t)
-    # DC: inductor branch rows already enforce v1 - v2 = 0 (no -jwL term).
-    return st, A, z
+    stamps = CircuitStamps.of(circuit)
+    return stamps.structure, stamps.dc_matrix(), stamps.source_rhs(t)
 
 
 def assemble_ac(circuit: Circuit, omega: float):
@@ -112,55 +318,9 @@ def assemble_ac(circuit: Circuit, omega: float):
     """
     if omega < 0:
         raise ValueError("omega must be >= 0")
-    st = MnaStructure.of(circuit)
-    A = np.zeros((st.size, st.size), dtype=complex)
-    z = np.zeros(st.size, dtype=complex)
-    _stamp_common(A, z, st, 0.0)
-    for cap in circuit.capacitors:
-        i, j = st.node(cap.n1), st.node(cap.n2)
-        _stamp_conductance(A, i, j, 1j * omega * cap.capacitance)
-    for idx, ind in enumerate(circuit.inductors):
-        row = st.ind_offset + idx
-        A[row, row] -= 1j * omega * ind.inductance
-    for mut in circuit.mutuals:
-        p1 = st.ind_offset + circuit.inductor_position(mut.l1)
-        p2 = st.ind_offset + circuit.inductor_position(mut.l2)
-        l1 = circuit.inductors[circuit.inductor_position(mut.l1)].inductance
-        l2 = circuit.inductors[circuit.inductor_position(mut.l2)].inductance
-        m = mut.k * np.sqrt(l1 * l2)
-        A[p1, p2] -= 1j * omega * m
-        A[p2, p1] -= 1j * omega * m
-    return st, A, z
-
-
-def _stamp_common(A, z, st: MnaStructure, t: float) -> None:
-    """Stamps shared by DC and AC: R, sources, VCVS, branch incidences."""
-    circuit = st.circuit
-    for res in circuit.resistors:
-        _stamp_conductance(A, st.node(res.n1), st.node(res.n2),
-                           1.0 / res.resistance)
-    for idx, vs in enumerate(circuit.vsources):
-        row = st.vsrc_offset + idx
-        _stamp_branch(A, st, row, st.node(vs.n1), st.node(vs.n2))
-        z[row] += vs.waveform(t)
-    for idx, e in enumerate(circuit.vcvs):
-        row = st.vcvs_offset + idx
-        _stamp_branch(A, st, row, st.node(e.out_pos), st.node(e.out_neg))
-        cp, cn = st.node(e.ctrl_pos), st.node(e.ctrl_neg)
-        if cp >= 0:
-            A[row, cp] -= e.gain
-        if cn >= 0:
-            A[row, cn] += e.gain
-    for idx, ind in enumerate(circuit.inductors):
-        row = st.ind_offset + idx
-        _stamp_branch(A, st, row, st.node(ind.n1), st.node(ind.n2))
-    for cs in circuit.isources:
-        i, j = st.node(cs.n1), st.node(cs.n2)
-        value = cs.waveform(t)
-        if i >= 0:
-            z[i] -= value
-        if j >= 0:
-            z[j] += value
+    stamps = CircuitStamps.of(circuit)
+    return (stamps.structure, stamps.ac_matrix(omega),
+            stamps.source_rhs(0.0, dtype=complex))
 
 
 class Solution:

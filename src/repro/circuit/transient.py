@@ -11,6 +11,15 @@ Companion models (trapezoidal):
 * Capacitor: ``i_new = g v_new - (g v_old + i_old)`` with ``g = 2C/dt``.
 * Inductor:  ``(v1-v2)_new - (2L/dt) i_new = -(2L/dt) i_old - v_old``,
   with mutual terms ``-(2M/dt)`` coupling branch currents.
+
+The default engine is fully vectorized: the companion matrix comes from
+the cached :class:`~repro.circuit.mna.CircuitStamps` structure
+(``G + (2/dt) B``), source waveforms are sampled over the whole time
+grid up front, the per-step RHS is built from precomputed sparse
+incidence matrices, the state update is pure array arithmetic, and
+recording is fancy indexing.  A straightforward per-element reference
+implementation is kept as :func:`simulate_scalar`; equivalence between
+the two is covered by golden tests.
 """
 
 from __future__ import annotations
@@ -22,8 +31,8 @@ import numpy as np
 import scipy.linalg
 
 from .elements import Circuit
-from .mna import MnaStructure, Solution, _stamp_conductance, assemble_dc, \
-    _robust_solve
+from .mna import (CircuitStamps, MnaStructure, Solution, _robust_solve,
+                  _stamp_conductance, assemble_dc)
 
 
 @dataclass
@@ -69,6 +78,23 @@ class TransientResult:
         return float(self.time[last_out + 1])
 
 
+def _recording_plan(circuit: Circuit, st: MnaStructure,
+                    record: Optional[Sequence[str]],
+                    record_currents: Optional[Sequence[str]]):
+    """Resolve the record lists into names and MNA row indices."""
+    node_names = (list(circuit.nodes) if record is None else list(record))
+    node_idx = [st.node(n) for n in node_names]
+    cur_names = list(record_currents or [])
+    cur_rows = []
+    for name in cur_names:
+        found = [st.vsrc_offset + i for i, v in enumerate(circuit.vsources)
+                 if v.name == name]
+        if not found:
+            raise KeyError(f"no voltage source named {name!r}")
+        cur_rows.append(found[0])
+    return node_names, node_idx, cur_names, cur_rows
+
+
 def simulate(circuit: Circuit, t_stop: float, dt: float,
              record: Optional[Sequence[str]] = None,
              record_currents: Optional[Sequence[str]] = None,
@@ -87,6 +113,106 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
 
     Returns:
         A :class:`TransientResult` with one sample per step including t=0.
+    """
+    if dt <= 0 or t_stop <= dt:
+        raise ValueError("need 0 < dt < t_stop")
+    steps = int(round(t_stop / dt)) + 1
+    stamps = CircuitStamps.of(circuit)
+    st = stamps.structure
+    if st.size == 0:
+        raise ValueError("cannot simulate an empty circuit")
+    size = st.size
+    n_cap = len(circuit.capacitors)
+    n_ind = len(circuit.inductors)
+    n_vsrc = len(circuit.vsources)
+    n_isrc = len(circuit.isources)
+
+    # --- constant system matrix -------------------------------------- #
+    lu = scipy.linalg.lu_factor(stamps.transient_matrix(dt))
+
+    # --- batched source sampling over the full time grid -------------- #
+    times = np.arange(steps) * dt
+    vsrc_samples = stamps.sample_waveforms(stamps.vsrc_waves, times)
+    isrc_samples = (stamps.sample_waveforms(stamps.isrc_waves, times)
+                    if n_isrc else None)
+
+    # --- initial state ------------------------------------------------ #
+    if use_ic:
+        x = _robust_solve(stamps.dc_matrix(), stamps.source_rhs(0.0))
+    else:
+        x = np.zeros(size)
+    cap_g = 2.0 * stamps.cap_c / dt
+    ind_g = 2.0 * stamps.ind_l / dt
+    mut_g = (stamps.mutual_pattern * (2.0 / dt)
+             if stamps.mutual_pattern is not None else None)
+    cap_v = stamps.cap_diff @ x
+    cap_i = np.zeros(n_cap)
+    ind_i = x[st.ind_offset:st.ind_offset + n_ind].copy()
+    ind_v = np.zeros(n_ind)
+    cap_inc = stamps.cap_incidence
+    isrc_inc = stamps.isrc_incidence
+    vsrc_rows = stamps.vsrc_rows
+    ind_rows = stamps.ind_rows
+
+    # --- recording ---------------------------------------------------- #
+    node_names, node_idx, cur_names, cur_rows = _recording_plan(
+        circuit, st, record, record_currents)
+    # Ground (-1) indices read the guaranteed-zero slot past the end of
+    # the augmented solution vector.
+    rec_idx = np.array([size if k < 0 else k for k in node_idx], dtype=int)
+    cur_idx = np.array(cur_rows, dtype=int)
+    xa = np.zeros(size + 1)
+    v_out = np.zeros((steps, len(node_idx)))
+    i_out = np.zeros((steps, len(cur_rows)))
+    xa[:size] = x
+    v_out[0] = xa[rec_idx]
+    i_out[0] = x[cur_idx]
+
+    lu_solve = scipy.linalg.lu_solve
+    for step in range(1, steps):
+        z = np.zeros(size)
+        if n_vsrc:
+            z[vsrc_rows] = vsrc_samples[:, step]
+        if n_isrc:
+            z += isrc_inc @ isrc_samples[:, step]
+        if n_cap:
+            z += cap_inc @ (cap_g * cap_v + cap_i)
+        if n_ind:
+            zl = -ind_g * ind_i - ind_v
+            if mut_g is not None:
+                zl += mut_g @ ind_i
+            z[ind_rows] = zl
+
+        x = lu_solve(lu, z)
+
+        # State update.
+        if n_cap:
+            v_new = stamps.cap_diff @ x
+            cap_i = cap_g * (v_new - cap_v) - cap_i
+            cap_v = v_new
+        if n_ind:
+            ind_v = stamps.ind_diff @ x
+            ind_i = x[st.ind_offset:st.ind_offset + n_ind].copy()
+
+        xa[:size] = x
+        v_out[step] = xa[rec_idx]
+        i_out[step] = x[cur_idx]
+
+    return TransientResult(
+        time=times,
+        voltages={n: v_out[:, c] for c, n in enumerate(node_names)},
+        vsource_currents={n: i_out[:, c] for c, n in enumerate(cur_names)})
+
+
+def simulate_scalar(circuit: Circuit, t_stop: float, dt: float,
+                    record: Optional[Sequence[str]] = None,
+                    record_currents: Optional[Sequence[str]] = None,
+                    use_ic: bool = True) -> TransientResult:
+    """Per-element reference implementation of :func:`simulate`.
+
+    Walks the element lists every step the way the original engine did.
+    Kept as the golden reference for the vectorized engine's equivalence
+    tests; results agree to well below 1e-9 relative error.
     """
     if dt <= 0 or t_stop <= dt:
         raise ValueError("need 0 < dt < t_stop")
@@ -122,7 +248,8 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
 
     # --- initial state ------------------------------------------------ #
     if use_ic:
-        x = _robust_solve(*_dc_parts(circuit))
+        _, A0, z0 = assemble_dc(circuit, 0.0)
+        x = _robust_solve(A0, z0)
     else:
         x = np.zeros(st.size)
     sol = Solution(st, x)
@@ -134,16 +261,8 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
     ind_v = np.zeros(len(circuit.inductors))
 
     # --- recording ---------------------------------------------------- #
-    node_names = (list(circuit.nodes) if record is None else list(record))
-    node_idx = [st.node(n) for n in node_names]
-    cur_names = list(record_currents or [])
-    cur_rows = []
-    for name in cur_names:
-        found = [st.vsrc_offset + i for i, v in enumerate(circuit.vsources)
-                 if v.name == name]
-        if not found:
-            raise KeyError(f"no voltage source named {name!r}")
-        cur_rows.append(found[0])
+    node_names, node_idx, cur_names, cur_rows = _recording_plan(
+        circuit, st, record, record_currents)
 
     times = np.arange(steps) * dt
     v_out = np.zeros((steps, len(node_names)))
@@ -156,7 +275,6 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
     isrc_nodes = [(st.node(s.n1), st.node(s.n2)) for s in circuit.isources]
     vsrc_rows = [(st.vsrc_offset + i, v.waveform)
                  for i, v in enumerate(circuit.vsources)]
-    vcvs_rows = [st.vcvs_offset + i for i in range(len(circuit.vcvs))]
 
     for step in range(1, steps):
         t = times[step]
@@ -203,9 +321,3 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
         time=times,
         voltages={n: v_out[:, c] for c, n in enumerate(node_names)},
         vsource_currents={n: i_out[:, c] for c, n in enumerate(cur_names)})
-
-
-def _dc_parts(circuit: Circuit):
-    """(A, z) of the DC system at t=0 (helper for the initial condition)."""
-    _, A, z = assemble_dc(circuit, 0.0)
-    return A, z

@@ -4,12 +4,20 @@ A waveform is a callable ``t_seconds -> value`` plus a little metadata.
 The constructors here mirror the SPICE source syntax the paper's HSPICE
 decks would have used: DC, PULSE, PWL, SIN, and a PRBS generator for eye
 diagrams.
+
+Every constructor also attaches a vectorized ``wave.sample(times)``
+evaluator (``times`` a numpy array) so the transient engine can sample a
+source over its whole time grid in one batched call instead of one
+Python call per step.  Custom waveform callables without ``.sample``
+still work — they just fall back to per-point evaluation.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
 
 Waveform = Callable[[float], float]
 
@@ -20,6 +28,10 @@ def dc(value: float) -> Waveform:
     def wave(t: float) -> float:
         return value
 
+    def sample(times: np.ndarray) -> np.ndarray:
+        return np.full(len(times), value, dtype=float)
+
+    wave.sample = sample
     return wave
 
 
@@ -36,6 +48,14 @@ def step(level: float, t_start: float = 0.0,
             return level
         return level * (t - t_start) / rise_time
 
+    def sample(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        out = level * (t - t_start) / rise_time
+        out[t <= t_start] = 0.0
+        out[t >= t_start + rise_time] = level
+        return out
+
+    wave.sample = sample
     return wave
 
 
@@ -63,6 +83,22 @@ def pulse(v1: float, v2: float, delay: float, rise: float, fall: float,
             return v2 + (v1 - v2) * tc / fall
         return v1
 
+    def sample(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        tc = (t - delay) % period
+        out = np.select(
+            [t < delay,
+             tc < rise,
+             tc < rise + width,
+             tc < rise + width + fall],
+            [v1,
+             v1 + (v2 - v1) * tc / rise,
+             v2,
+             v2 + (v1 - v2) * (tc - rise - width) / fall],
+            default=v1)
+        return out
+
+    wave.sample = sample
     return wave
 
 
@@ -78,6 +114,14 @@ def sine(offset: float, amplitude: float, frequency: float,
         return offset + amplitude * math.sin(
             2 * math.pi * frequency * (t - delay))
 
+    def sample(times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        out = offset + amplitude * np.sin(
+            2 * math.pi * frequency * (t - delay))
+        out[t < delay] = offset
+        return out
+
+    wave.sample = sample
     return wave
 
 
@@ -108,6 +152,20 @@ def pwl(points: Sequence[Tuple[float, float]]) -> Waveform:
         frac = (t - times[i]) / (times[i + 1] - times[i])
         return values[i] + frac * (values[i + 1] - values[i])
 
+    t_arr = np.array(times, dtype=float)
+    v_arr = np.array(values, dtype=float)
+
+    def sample(ts: np.ndarray) -> np.ndarray:
+        t = np.asarray(ts, dtype=float)
+        i = np.clip(np.searchsorted(t_arr, t, side="right") - 1,
+                    0, len(t_arr) - 2)
+        frac = (t - t_arr[i]) / (t_arr[i + 1] - t_arr[i])
+        out = v_arr[i] + frac * (v_arr[i + 1] - v_arr[i])
+        out[t <= t_arr[0]] = v_arr[0]
+        out[t >= t_arr[-1]] = v_arr[-1]
+        return out
+
+    wave.sample = sample
     return wave
 
 
@@ -169,4 +227,21 @@ def bitstream(bits: Sequence[int], bit_period: float, v_low: float,
             return cur
         return prev + (cur - prev) * t_in / rise
 
+    lv = np.array(levels, dtype=float)
+    pv = np.concatenate(([lv[0]], lv[:-1]))  # previous bit's level
+
+    def sample(ts: np.ndarray) -> np.ndarray:
+        t = np.asarray(ts, dtype=float)
+        idx = (t / bit_period).astype(np.int64)
+        idx_c = np.clip(idx, 0, len(lv) - 1)
+        cur = lv[idx_c]
+        prev = pv[idx_c]
+        t_in = t - idx_c * bit_period
+        edge = prev + (cur - prev) * t_in / rise
+        out = np.where((t_in >= rise) | (prev == cur), cur, edge)
+        out[t < 0] = lv[0]
+        out[idx >= len(lv)] = lv[-1]
+        return out
+
+    wave.sample = sample
     return wave

@@ -4,8 +4,10 @@
 implementation (both kinds), interposer die placement and RDL routing,
 PDN construction, SI (worst-net channels + eye diagrams), PI (impedance
 profile, IR drop, regulator transient), thermal analysis, and the
-full-chip roll-up.  Results are cached per (design, scale, seed) since
-every stage is deterministic.
+full-chip roll-up.  Results are cached per
+(design, scale, seed, with_eyes, with_thermal) since every stage is
+deterministic; :func:`run_designs` adds a multi-process fan-out and a
+persistent disk cache keyed additionally on a package-source hash.
 
 :func:`run_monolithic` implements the 2D-monolithic baseline column of
 Table IV: both tiles on a single die, no SerDes/AIB, no interposer.
@@ -13,9 +15,15 @@ Table IV: both tiles on a single die, no SerDes/AIB, no interposer.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.generate import generate_monolithic_netlist
 from ..chiplet.design import ChipletResult, build_chiplet
@@ -64,6 +72,9 @@ class DesignResult:
     l2l_eye: Optional[EyeResult]
     thermal: Optional[PackageThermalReport]
     fullchip: FullChipSummary
+    #: Wall time per flow stage in seconds (perf harness input); not part
+    #: of the design point itself, so it is excluded from comparisons.
+    stage_times: Optional[Dict[str, float]] = None
 
     def table4_row(self) -> Dict[str, object]:
         """One column of Table IV (interposer design results)."""
@@ -113,13 +124,97 @@ class DesignResult:
         return out
 
 
-#: Deterministic result cache: (name, scale, seed) → DesignResult.
-_CACHE: Dict[Tuple[str, float, int], DesignResult] = {}
+#: Deterministic result cache:
+#: (name, scale, seed, with_eyes, with_thermal) → DesignResult.
+_CACHE: Dict[Tuple[str, float, int, bool, bool], DesignResult] = {}
 
 
 def clear_cache() -> None:
     """Drop all cached design results (tests use this)."""
     _CACHE.clear()
+
+
+# --------------------------------------------------------------------- #
+# Persistent on-disk cache.
+# --------------------------------------------------------------------- #
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the ``repro`` package source.
+
+    Any source edit changes the hash, which invalidates every on-disk
+    cache entry written by older code — results can never go stale.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        pkg_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha1()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def flow_cache_dir() -> Optional[Path]:
+    """Directory of the persistent result cache, or ``None`` if disabled.
+
+    Defaults to ``results/.flow_cache`` at the repository root; override
+    with the ``REPRO_FLOW_CACHE`` environment variable (set it to ``0``
+    or an empty string to disable the disk cache entirely).
+    """
+    env = os.environ.get("REPRO_FLOW_CACHE")
+    if env is not None:
+        return Path(env) if env not in ("", "0") else None
+    return Path(__file__).resolve().parents[3] / "results" / ".flow_cache"
+
+
+def _disk_key(name: str, scale: float, seed: int, with_eyes: bool,
+              with_thermal: bool) -> str:
+    return (f"{name}-s{scale}-r{seed}"
+            f"-e{int(with_eyes)}-t{int(with_thermal)}-{code_version()}")
+
+
+def _disk_load(key: str) -> Optional[DesignResult]:
+    cache_dir = flow_cache_dir()
+    if cache_dir is None:
+        return None
+    try:
+        with open(cache_dir / f"{key}.pkl", "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError):
+        return None
+
+
+def _disk_store(key: str, result: DesignResult) -> None:
+    cache_dir = flow_cache_dir()
+    if cache_dir is None:
+        return
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = cache_dir / f".{key}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(cache_dir / f"{key}.pkl")
+    except OSError:
+        pass  # cache is best-effort; never fail the flow over it
+
+
+def clear_disk_cache() -> int:
+    """Delete all persisted results; returns the number removed."""
+    cache_dir = flow_cache_dir()
+    removed = 0
+    if cache_dir is not None and cache_dir.is_dir():
+        for path in cache_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def _channels_for(spec: InterposerSpec,
@@ -171,16 +266,25 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
     Returns:
         A fully populated :class:`DesignResult`.
     """
-    key = (name, scale, seed)
-    if use_cache and key in _CACHE and with_eyes and with_thermal:
-        return _CACHE[key]
+    key = (name, scale, seed, with_eyes, with_thermal)
+    if use_cache:
+        hit = _CACHE.get(key)
+        if hit is None and not (with_eyes and with_thermal):
+            # A full run supersedes any partial request at the same point.
+            hit = _CACHE.get((name, scale, seed, True, True))
+        if hit is not None:
+            return hit
+    stage_times: Dict[str, float] = {}
+    t_total = time.perf_counter()
     spec = get_spec(name)
 
+    t0 = time.perf_counter()
     logic = build_chiplet("logic", spec, scale=scale, seed=seed,
                           target_frequency_mhz=target_frequency_mhz)
     memory = build_chiplet("memory", spec, scale=scale, seed=seed,
                            target_frequency_mhz=target_frequency_mhz)
     placement = place_dies(spec, logic.bump_plan, memory.bump_plan)
+    stage_times["chiplets"] = time.perf_counter() - t0
 
     route = None
     pdn = None
@@ -188,9 +292,12 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
     ir = None
     transient = None
     if spec.style is not IntegrationStyle.TSV_STACK:
+        t0 = time.perf_counter()
         route = route_interposer(placement,
                                  logic.bump_plan.signal_positions(),
                                  memory.bump_plan.signal_positions())
+        stage_times["routing"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         pdn = build_pdn(placement)
         pdn_imp = analyze_pdn_impedance(pdn)
         powers = {d.name: (logic if d.kind == "logic"
@@ -199,13 +306,17 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         ir = solve_plane_ir_drop(placement, pdn, powers)
         transient = analyze_power_transient(
             pdn, sum(powers.values()))
+        stage_times["pdn"] = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     l2m_ch, l2l_ch = _channels_for(spec, route)
     l2m_rep = measure_channel(l2m_ch, target_frequency_mhz * 1e6)
     l2l_rep = measure_channel(l2l_ch, target_frequency_mhz * 1e6)
+    stage_times["channels"] = time.perf_counter() - t0
 
     l2m_eye = l2l_eye = None
     if with_eyes:
+        t0 = time.perf_counter()
         coupled = coupled_line_for_spec(spec)
         l2m_eye = simulate_eye(line=l2m_ch.line,
                                length_um=l2m_ch.length_um,
@@ -215,9 +326,11 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
                                length_um=l2l_ch.length_um,
                                lumped=l2l_ch.lumped, coupled=coupled,
                                num_bits=64)
+        stage_times["eyes"] = time.perf_counter() - t0
 
     thermal = None
     if with_thermal:
+        t0 = time.perf_counter()
         powers = {d.name: (logic if d.kind == "logic"
                            else memory).power.total_mw * 1e-3
                   for d in placement.dies}
@@ -226,17 +339,98 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
             res = logic if d.kind == "logic" else memory
             maps[d.name] = power_density_map(res.route, res.power)
         thermal = analyze_package_thermal(placement, powers, maps)
+        stage_times["thermal"] = time.perf_counter() - t0
 
     fullchip = full_chip_summary(logic, memory, l2m_rep, l2l_rep)
+    stage_times["total"] = time.perf_counter() - t_total
     result = DesignResult(
         spec=spec, logic=logic, memory=memory, placement=placement,
         route=route, pdn=pdn, pdn_impedance=pdn_imp, ir_drop=ir,
         power_transient=transient, l2m_channel=l2m_rep,
         l2l_channel=l2l_rep, l2m_eye=l2m_eye, l2l_eye=l2l_eye,
-        thermal=thermal, fullchip=fullchip)
-    if use_cache and with_eyes and with_thermal:
+        thermal=thermal, fullchip=fullchip, stage_times=stage_times)
+    if use_cache:
         _CACHE[key] = result
     return result
+
+
+def _run_design_task(task: Tuple[str, float, int, float, bool, bool]
+                     ) -> Tuple[str, DesignResult]:
+    """Worker-process entry point for :func:`run_designs`."""
+    name, scale, seed, target_mhz, with_eyes, with_thermal = task
+    result = run_design(name, scale=scale, seed=seed,
+                        target_frequency_mhz=target_mhz,
+                        with_eyes=with_eyes, with_thermal=with_thermal)
+    return name, result
+
+
+def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
+                target_frequency_mhz: float = 700.0,
+                with_eyes: bool = True, with_thermal: bool = True,
+                jobs: int = 1,
+                use_cache: bool = True) -> Dict[str, DesignResult]:
+    """Run several design points, optionally in parallel worker processes.
+
+    Results are identical to calling :func:`run_design` per name; the
+    fan-out only changes wall-clock time.  Design points already in the
+    in-process cache or the persistent disk cache (see
+    :func:`flow_cache_dir`) are not recomputed.
+
+    Args:
+        names: Design-point names (duplicates are deduplicated).
+        scale: Netlist scale shared by all points.
+        seed: Determinism seed shared by all points.
+        target_frequency_mhz: Chiplet timing target.
+        with_eyes: Run the PRBS eye simulations.
+        with_thermal: Run the FD thermal solve.
+        jobs: Worker processes for cache misses (1 = run serially in
+            this process).
+        use_cache: Reuse/populate the in-process and disk caches.
+
+    Returns:
+        Mapping from design name to its :class:`DesignResult`.
+    """
+    ordered: List[str] = []
+    for n in names:
+        if n not in ordered:
+            ordered.append(n)
+
+    results: Dict[str, DesignResult] = {}
+    misses: List[str] = []
+    for n in ordered:
+        if use_cache:
+            mem_key = (n, scale, seed, with_eyes, with_thermal)
+            hit = _CACHE.get(mem_key)
+            if hit is None and not (with_eyes and with_thermal):
+                hit = _CACHE.get((n, scale, seed, True, True))
+            if hit is None:
+                hit = _disk_load(_disk_key(n, scale, seed, with_eyes,
+                                           with_thermal))
+                if hit is not None:
+                    _CACHE[mem_key] = hit
+            if hit is not None:
+                results[n] = hit
+                continue
+        misses.append(n)
+
+    if misses:
+        tasks = [(n, scale, seed, target_frequency_mhz, with_eyes,
+                  with_thermal) for n in misses]
+        if jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs,
+                                                     len(misses))) as pool:
+                computed = dict(pool.map(_run_design_task, tasks))
+        else:
+            computed = dict(_run_design_task(t) for t in tasks)
+        for n in misses:
+            result = computed[n]
+            results[n] = result
+            if use_cache:
+                _CACHE[(n, scale, seed, with_eyes, with_thermal)] = result
+                _disk_store(_disk_key(n, scale, seed, with_eyes,
+                                      with_thermal), result)
+
+    return {n: results[n] for n in ordered}
 
 
 @dataclass

@@ -245,6 +245,8 @@ def _offset_wave(wave, offset_s: float):
     def shifted(t: float) -> float:
         return wave(t - offset_s)
 
+    if hasattr(wave, "sample"):
+        shifted.sample = lambda ts: wave.sample(ts - offset_s)
     return shifted
 
 

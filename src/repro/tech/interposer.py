@@ -194,17 +194,37 @@ INTERPOSER_SPECS: List[InterposerSpec] = [
 ]
 
 
+def _normalize_spec_name(name: str) -> str:
+    """Canonicalize a spec name: lowercase, drop separators and dots.
+
+    Makes common aliases resolve — ``"glass_2_5d"``, ``"glass-2.5d"``,
+    and ``"Glass_25D"`` all map to ``"glass_25d"``.
+    """
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+_SPEC_ALIASES: Dict[str, InterposerSpec] = {
+    _normalize_spec_name(s.name): s for s in ALL_SPECS
+}
+
+
 def get_spec(name: str) -> InterposerSpec:
     """Look up a design point by name (e.g. ``"glass_3d"``).
+
+    Accepts forgiving aliases: lookup is case-insensitive and ignores
+    underscores, hyphens, and dots, so ``"glass_2_5d"`` and
+    ``"glass-2.5d"`` resolve to ``"glass_25d"``.
 
     Raises:
         KeyError: If the name is unknown; the message lists valid names.
     """
-    try:
-        return _SPEC_INDEX[name]
-    except KeyError:
+    spec = _SPEC_INDEX.get(name)
+    if spec is None:
+        spec = _SPEC_ALIASES.get(_normalize_spec_name(name))
+    if spec is None:
         valid = ", ".join(sorted(_SPEC_INDEX))
         raise KeyError(f"unknown interposer spec {name!r}; valid: {valid}")
+    return spec
 
 
 def spec_names() -> List[str]:

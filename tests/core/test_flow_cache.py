@@ -1,0 +1,119 @@
+"""Flow caching semantics and the multi-design fan-out.
+
+Regression coverage for the cache-key bug where a partial run
+(``with_eyes=False`` / ``with_thermal=False``) could be served a stale
+entry or poison later full runs: the in-process cache is now keyed on
+the flags, and partial requests may only be *upgraded* from a full
+entry, never the reverse.
+"""
+
+import pytest
+
+from repro.core import flow
+from repro.core.flow import (clear_cache, clear_disk_cache, code_version,
+                             run_design, run_designs)
+
+SCALE = 0.015
+SEED = 9
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Fresh in-process cache + throwaway disk cache per test."""
+    monkeypatch.setenv("REPRO_FLOW_CACHE", str(tmp_path / "fcache"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFlagAwareCache:
+    def test_partial_run_does_not_poison_full_run(self):
+        partial = run_design("glass_25d", scale=SCALE, seed=SEED,
+                             with_eyes=False, with_thermal=False)
+        assert partial.l2m_eye is None
+        assert partial.thermal is None
+        full = run_design("glass_25d", scale=SCALE, seed=SEED)
+        assert full is not partial
+        assert full.l2m_eye is not None
+        assert full.thermal is not None
+
+    def test_partial_run_cached_under_own_key(self):
+        a = run_design("glass_25d", scale=SCALE, seed=SEED,
+                       with_eyes=False, with_thermal=False)
+        b = run_design("glass_25d", scale=SCALE, seed=SEED,
+                       with_eyes=False, with_thermal=False)
+        assert a is b
+
+    def test_partial_request_upgraded_from_full_entry(self):
+        full = run_design("glass_25d", scale=SCALE, seed=SEED)
+        partial = run_design("glass_25d", scale=SCALE, seed=SEED,
+                             with_eyes=False)
+        assert partial is full
+
+    def test_stage_times_recorded(self):
+        r = run_design("glass_25d", scale=SCALE, seed=SEED)
+        assert r.stage_times is not None
+        assert {"chiplets", "channels", "total"} <= set(r.stage_times)
+        assert r.stage_times["total"] > 0.0
+
+
+class TestRunDesigns:
+    NAMES = ["glass_3d", "silicon_3d"]  # TSV stacks: no routing, fast
+
+    def _run(self, **kw):
+        return run_designs(self.NAMES, scale=SCALE, seed=SEED,
+                           with_eyes=False, with_thermal=False, **kw)
+
+    def test_serial_matches_run_design(self):
+        got = self._run(jobs=1)
+        assert list(got) == self.NAMES
+        for name in self.NAMES:
+            solo = run_design(name, scale=SCALE, seed=SEED,
+                              with_eyes=False, with_thermal=False,
+                              use_cache=False)
+            assert (got[name].fullchip.total_power_mw
+                    == pytest.approx(solo.fullchip.total_power_mw,
+                                     rel=1e-12))
+            assert (got[name].l2m_channel.total_delay_ps
+                    == solo.l2m_channel.total_delay_ps)
+
+    def test_parallel_matches_serial(self):
+        serial = self._run(jobs=1, use_cache=False)
+        clear_cache()
+        parallel = self._run(jobs=2)
+        for name in self.NAMES:
+            a, b = serial[name], parallel[name]
+            assert (a.fullchip.total_power_mw
+                    == pytest.approx(b.fullchip.total_power_mw,
+                                     rel=1e-12))
+            assert a.logic.fmax_mhz == pytest.approx(b.logic.fmax_mhz,
+                                                     rel=1e-12)
+
+    def test_disk_cache_round_trip(self):
+        first = self._run(jobs=1)
+        clear_cache()  # drop the in-process cache, keep the disk one
+        second = self._run(jobs=1)
+        for name in self.NAMES:
+            assert (first[name].fullchip.total_power_mw
+                    == second[name].fullchip.total_power_mw)
+        # Results actually came off disk (new objects, not cache hits).
+        assert second[self.NAMES[0]] is not first[self.NAMES[0]]
+
+    def test_disk_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "0")
+        assert flow.flow_cache_dir() is None
+        self._run(jobs=1)
+        assert clear_disk_cache() == 0
+
+    def test_duplicates_deduplicated(self):
+        got = run_designs(["glass_3d", "glass_3d"], scale=SCALE,
+                          seed=SEED, with_eyes=False, with_thermal=False)
+        assert list(got) == ["glass_3d"]
+
+
+class TestCodeVersion:
+    def test_stable_and_hexlike(self):
+        v = code_version()
+        assert v == code_version()
+        assert len(v) == 16
+        int(v, 16)  # parses as hex

@@ -88,6 +88,17 @@ class TestRegistry:
         with pytest.raises(KeyError, match="glass_3d"):
             get_spec("bogus")
 
+    def test_get_spec_aliases(self):
+        for alias in ("glass_2_5d", "glass-2.5d", "Glass_25D",
+                      "GLASS-2.5D"):
+            assert get_spec(alias) is GLASS_25D, alias
+        assert get_spec("silicon-2.5d") is SILICON_25D
+        assert get_spec("Glass_3D").name == "glass_3d"
+
+    def test_get_spec_alias_unknown_still_raises(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_spec("glass_4d")
+
     def test_all_specs_validate(self):
         for spec in ALL_SPECS:
             spec.validate()
