@@ -70,7 +70,7 @@ def test_flow_stage_times_recorded():
     wall = time.perf_counter() - t0
     assert result.stage_times is not None
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    payload = {
+    updates = {
         "design": "glass_25d",
         "scale": 0.02,
         "seed": 7,
@@ -78,7 +78,13 @@ def test_flow_stage_times_recorded():
         "stage_times_s": {k: round(v, 3)
                           for k, v in result.stage_times.items()},
     }
-    with open(os.path.join(RESULTS_DIR, "BENCH_flow.json"), "w") as fh:
+    bench_path = os.path.join(RESULTS_DIR, "BENCH_flow.json")
+    payload = {}
+    if os.path.exists(bench_path):
+        with open(bench_path) as fh:
+            payload = json.load(fh)
+    payload.update(updates)
+    with open(bench_path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     # Sanity: the stage breakdown accounts for most of the wall time.
@@ -92,9 +98,13 @@ def test_simulate_not_regressed():
     elapsed = _time_simulate()
     if os.environ.get("REPRO_PERF_REBASE") == "1" \
             or not os.path.exists(BASELINE_PATH):
+        baseline = {}
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH) as fh:
+                baseline = json.load(fh)
+        baseline["simulate_pdn_ladder_s"] = round(elapsed, 4)
         with open(BASELINE_PATH, "w") as fh:
-            json.dump({"simulate_pdn_ladder_s": round(elapsed, 4)}, fh,
-                      indent=2)
+            json.dump(baseline, fh, indent=2)
             fh.write("\n")
         pytest.skip(f"baseline recorded: {elapsed:.4f}s")
     with open(BASELINE_PATH) as fh:

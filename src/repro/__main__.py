@@ -1,17 +1,26 @@
-"""Command-line entry point: ``python -m repro [design] [--scale S]``.
+"""Command-line entry point.
 
-Runs the co-design flow for one design point (or all of them) and prints
-the paper-style summary tables.
+Two modes::
+
+    python -m repro [design] [--scale S] [--seed N] [...]   # run the flow
+    python -m repro sweep --space FILE [--jobs N] [--resume]
+
+The first runs the co-design flow for one design point (or all of them)
+and prints the paper-style summary tables; the second executes a
+declarative design-space sweep (see ``repro.dse`` and
+``examples/spaces/``).  Design names accept forgiving aliases
+(``glass-2.5d``, ``Glass_25D``, ...) via :func:`repro.tech.get_spec`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core.flow import run_designs, run_monolithic
-from .core.report import format_comparison, format_table
-from .tech.interposer import spec_names
+from .core.report import format_table
+from .tech.interposer import get_spec, spec_names
 
 
 def _summarize(name: str, result) -> list:
@@ -27,18 +36,21 @@ def _summarize(name: str, result) -> list:
     ]
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+def run_main(argv) -> int:
+    """The flow-running mode (``python -m repro [design] ...``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Chiplet/interposer co-design flow (glass interposer "
                     "paper reproduction)")
     parser.add_argument("design", nargs="?", default="all",
-                        choices=spec_names() + ["all", "monolithic"],
-                        help="design point to run (default: all)")
+                        help="design point to run — a name or alias "
+                             f"({', '.join(spec_names())}), 'all', or "
+                             "'monolithic' (default: all)")
     parser.add_argument("--scale", type=float, default=0.1,
                         help="netlist scale; 1.0 = paper size "
                              "(default 0.1)")
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="determinism seed (default 2023)")
     parser.add_argument("--no-eyes", action="store_true",
                         help="skip eye-diagram simulation")
     parser.add_argument("--no-thermal", action="store_true",
@@ -51,7 +63,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.design == "monolithic":
-        mono = run_monolithic(scale=args.scale)
+        mono = run_monolithic(scale=args.scale, seed=args.seed)
         print(format_table(
             ["metric", "value"],
             [["footprint (mm)", mono.footprint_mm],
@@ -63,10 +75,18 @@ def main(argv=None) -> int:
             title="2D monolithic baseline"))
         return 0
 
-    names = spec_names() if args.design == "all" else [args.design]
+    if args.design == "all":
+        names = spec_names()
+    else:
+        try:
+            names = [get_spec(args.design).name]
+        except KeyError:
+            parser.error(
+                f"unknown design {args.design!r}; valid: "
+                f"{', '.join(spec_names() + ['all', 'monolithic'])}")
     print(f"running {', '.join(names)} (scale={args.scale}, "
-          f"jobs={args.jobs})...", file=sys.stderr)
-    results = run_designs(names, scale=args.scale,
+          f"seed={args.seed}, jobs={args.jobs})...", file=sys.stderr)
+    results = run_designs(names, scale=args.scale, seed=args.seed,
                           with_eyes=not args.no_eyes,
                           with_thermal=not args.no_thermal,
                           jobs=args.jobs)
@@ -88,6 +108,104 @@ def main(argv=None) -> int:
         for check, verdict, detail in rep.summary_rows():
             print(f"  {check:18s} {verdict:4s}  {detail}")
     return 0
+
+
+def sweep_main(argv) -> int:
+    """The design-space sweep mode (``python -m repro sweep ...``)."""
+    from .dse.analyze import (failures, flat_records, pareto_front,
+                              sensitivity_summary)
+    from .dse.runner import SweepRunner
+    from .dse.space import SweepSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a declarative design-space sweep "
+                    "(see examples/spaces/ for space files)")
+    parser.add_argument("--space", required=True,
+                        help="sweep space definition (.yaml/.json)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--resume", action="store_true",
+                        help="keep completed points in the result store "
+                             "and compute only the remaining ones")
+    parser.add_argument("--out", default=None,
+                        help="result-store directory (default: "
+                             "results/sweeps/<sweep name>)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="stop after the store holds N points")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = SweepSpec.from_file(args.space)
+        spec.validate()
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(f"bad space file {args.space!r}: {exc}")
+
+    runner = SweepRunner(spec, out_dir=args.out, jobs=args.jobs,
+                         progress=lambda line: print(line,
+                                                     file=sys.stderr))
+    total = len(spec.points())
+    print(f"sweep {spec.name}: {total} points "
+          f"({spec.sampler} over {', '.join(a.name for a in spec.axes)}), "
+          f"evaluator={spec.evaluator}, jobs={args.jobs}"
+          f"{', resume' if args.resume else ''}", file=sys.stderr)
+    t0 = time.perf_counter()
+    records = runner.run(resume=args.resume, limit=args.limit)
+    elapsed = time.perf_counter() - t0
+
+    failed = failures(records)
+    print(f"completed {len(records)}/{total} points "
+          f"({len(failed)} failed) in {elapsed:.1f}s", file=sys.stderr)
+    print(f"result store: {runner.out_dir}", file=sys.stderr)
+    for record in failed:
+        err = record["error"]
+        print(f"  {record['id']} FAILED {err['type']}: {err['message']}",
+              file=sys.stderr)
+
+    flat = flat_records(records)
+    if not flat:
+        print("no successful points", file=sys.stderr)
+        return 1
+
+    axis_names = [a.name for a in spec.axes]
+    metric_names = [k for k in flat[0]
+                    if k not in axis_names and k != "id"
+                    and isinstance(flat[0][k], (int, float))]
+    if spec.objectives:
+        objectives = dict(spec.objectives)
+        front = pareto_front(flat, objectives)
+        label = ", ".join(f"{m} ({s})" for m, s in spec.objectives)
+        cols = axis_names + list(objectives)
+        rows = [[_fmt(r.get(c)) for c in cols] for r in front]
+        print(format_table(cols, rows,
+                           title=f"Pareto front: {label} — "
+                                 f"{len(front)}/{len(flat)} points"))
+
+    sens = sensitivity_summary(flat, axis_names, metric_names)
+    rows = []
+    for axis, per_metric in sens.items():
+        for metric, value in per_metric.items():
+            if value is not None:
+                rows.append([axis, metric, round(value, 3)])
+    if rows:
+        print(format_table(["axis", "metric", "elasticity"], rows,
+                           title="Per-axis sensitivity (endpoint "
+                                 "elasticity)"))
+    return 0
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return round(value, 3)
+    return value
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    return run_main(argv)
 
 
 if __name__ == "__main__":

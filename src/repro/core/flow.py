@@ -15,15 +15,17 @@ Table IV: both tiles on a single die, no SerDes/AIB, no interposer.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import math
 import os
 import pickle
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..arch.generate import generate_monolithic_netlist
 from ..chiplet.design import ChipletResult, build_chiplet
@@ -124,9 +126,47 @@ class DesignResult:
         return out
 
 
+#: Spec fields that may not be perturbed through ``spec_overrides``
+#: (identity/enum fields; sweeping them would not mean anything).
+_PROTECTED_SPEC_FIELDS = frozenset({"name", "display_name", "style",
+                                    "routing"})
+
+#: Canonical form of a ``spec_overrides`` mapping: a sorted item tuple.
+OverridesKey = Tuple[Tuple[str, object], ...]
+
+
+def _overrides_key(spec_overrides: Optional[Mapping[str, object]]
+                   ) -> OverridesKey:
+    if not spec_overrides:
+        return ()
+    return tuple(sorted(spec_overrides.items()))
+
+
+def _apply_overrides(spec: InterposerSpec,
+                     spec_overrides: Mapping[str, object]) -> InterposerSpec:
+    """A validated copy of ``spec`` with some fields replaced.
+
+    Raises:
+        AttributeError: If an override names a field the spec lacks.
+        ValueError: If an override targets an identity field or the
+            resulting spec fails validation.
+    """
+    for field_name in spec_overrides:
+        if field_name in _PROTECTED_SPEC_FIELDS:
+            raise ValueError(
+                f"spec field {field_name!r} cannot be overridden")
+        if field_name not in InterposerSpec.__dataclass_fields__:
+            raise AttributeError(
+                f"InterposerSpec has no field {field_name!r}")
+    out = dataclasses.replace(spec, **dict(spec_overrides))
+    out.validate()
+    return out
+
+
 #: Deterministic result cache:
-#: (name, scale, seed, with_eyes, with_thermal) → DesignResult.
-_CACHE: Dict[Tuple[str, float, int, bool, bool], DesignResult] = {}
+#: (name, overrides, scale, seed, with_eyes, with_thermal) → DesignResult.
+_CACHE: Dict[Tuple[str, OverridesKey, float, int, bool, bool],
+             DesignResult] = {}
 
 
 def clear_cache() -> None:
@@ -172,9 +212,13 @@ def flow_cache_dir() -> Optional[Path]:
 
 
 def _disk_key(name: str, scale: float, seed: int, with_eyes: bool,
-              with_thermal: bool) -> str:
+              with_thermal: bool, overrides: OverridesKey = ()) -> str:
+    tag = ""
+    if overrides:
+        digest = hashlib.sha1(repr(overrides).encode()).hexdigest()[:10]
+        tag = f"-o{digest}"
     return (f"{name}-s{scale}-r{seed}"
-            f"-e{int(with_eyes)}-t{int(with_thermal)}-{code_version()}")
+            f"-e{int(with_eyes)}-t{int(with_thermal)}{tag}-{code_version()}")
 
 
 def _disk_load(key: str) -> Optional[DesignResult]:
@@ -251,7 +295,9 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
                target_frequency_mhz: float = 700.0,
                with_eyes: bool = True,
                with_thermal: bool = True,
-               use_cache: bool = True) -> DesignResult:
+               use_cache: bool = True,
+               spec_overrides: Optional[Mapping[str, object]] = None
+               ) -> DesignResult:
     """Run the complete co-design flow for one design point.
 
     Args:
@@ -262,21 +308,28 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         with_eyes: Run the PRBS eye simulations (the slowest SI step).
         with_thermal: Run the FD thermal solve.
         use_cache: Reuse/populate the in-process result cache.
+        spec_overrides: Optional ``InterposerSpec`` field perturbations
+            (e.g. ``{"microbump_pitch_um": 50.0}``) applied on top of the
+            registered spec — the hook the design-space explorer sweeps
+            through.  Identity fields (name/style/routing) are protected.
 
     Returns:
         A fully populated :class:`DesignResult`.
     """
-    key = (name, scale, seed, with_eyes, with_thermal)
+    overrides = _overrides_key(spec_overrides)
+    key = (name, overrides, scale, seed, with_eyes, with_thermal)
     if use_cache:
         hit = _CACHE.get(key)
         if hit is None and not (with_eyes and with_thermal):
             # A full run supersedes any partial request at the same point.
-            hit = _CACHE.get((name, scale, seed, True, True))
+            hit = _CACHE.get((name, overrides, scale, seed, True, True))
         if hit is not None:
             return hit
     stage_times: Dict[str, float] = {}
     t_total = time.perf_counter()
     spec = get_spec(name)
+    if overrides:
+        spec = _apply_overrides(spec, dict(overrides))
 
     t0 = time.perf_counter()
     logic = build_chiplet("logic", spec, scale=scale, seed=seed,
@@ -354,14 +407,141 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
     return result
 
 
-def _run_design_task(task: Tuple[str, float, int, float, bool, bool]
-                     ) -> Tuple[str, DesignResult]:
+# --------------------------------------------------------------------- #
+# Single-point task API (structured error capture).
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FlowTaskSpec:
+    """Picklable description of one :func:`run_design` invocation.
+
+    This is the unit of work the multi-design fan-out and the
+    design-space explorer ship to worker processes.  ``spec_overrides``
+    is canonicalized to a sorted item tuple so equal tasks compare (and
+    hash) equal regardless of construction order.
+    """
+
+    design: str
+    scale: float = 1.0
+    seed: int = 2023
+    target_frequency_mhz: float = 700.0
+    with_eyes: bool = True
+    with_thermal: bool = True
+    spec_overrides: OverridesKey = ()
+
+    def __post_init__(self):
+        canonical = tuple(sorted(tuple(self.spec_overrides)))
+        object.__setattr__(self, "spec_overrides", canonical)
+
+    def cache_key(self) -> Tuple[str, OverridesKey, float, int, bool, bool]:
+        """The in-process cache key this task resolves to."""
+        return (self.design, self.spec_overrides, self.scale, self.seed,
+                self.with_eyes, self.with_thermal)
+
+
+@dataclass
+class FlowTaskResult:
+    """Outcome of one flow task: a result *or* a structured failure.
+
+    Attributes:
+        task: The task that produced this outcome.
+        result: The design result; ``None`` when the task failed.
+        error_type: Exception class name on failure (``None`` on success).
+        error_message: ``str(exception)`` on failure.
+        error_traceback: Full formatted traceback on failure.
+        wall_s: Wall time spent on this task (0 for cache hits).
+        cached: Whether the result came from a cache rather than compute.
+    """
+
+    task: FlowTaskSpec
+    result: Optional[DesignResult] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    error_traceback: Optional[str] = None
+    wall_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a result."""
+        return self.error_type is None
+
+
+def run_flow_task(task: FlowTaskSpec,
+                  use_cache: bool = True) -> FlowTaskResult:
+    """Execute one flow task; never raises.
+
+    Consults the in-process cache, then the persistent disk cache, then
+    computes (and populates both).  Any exception — unknown design,
+    invalid override, a numerical failure deep in a flow stage — is
+    captured as a structured failure row instead of propagating, so a
+    batch of tasks always runs to completion.
+    """
+    t0 = time.perf_counter()
+    try:
+        if use_cache:
+            hit = _CACHE.get(task.cache_key())
+            if hit is None and not (task.with_eyes and task.with_thermal):
+                hit = _CACHE.get((task.design, task.spec_overrides,
+                                  task.scale, task.seed, True, True))
+            if hit is None:
+                hit = _disk_load(_disk_key(
+                    task.design, task.scale, task.seed, task.with_eyes,
+                    task.with_thermal, task.spec_overrides))
+                if hit is not None:
+                    _CACHE[task.cache_key()] = hit
+            if hit is not None:
+                return FlowTaskResult(
+                    task=task, result=hit, cached=True,
+                    wall_s=time.perf_counter() - t0)
+        result = run_design(
+            task.design, scale=task.scale, seed=task.seed,
+            target_frequency_mhz=task.target_frequency_mhz,
+            with_eyes=task.with_eyes, with_thermal=task.with_thermal,
+            use_cache=use_cache,
+            spec_overrides=dict(task.spec_overrides) or None)
+        if use_cache:
+            _disk_store(_disk_key(task.design, task.scale, task.seed,
+                                  task.with_eyes, task.with_thermal,
+                                  task.spec_overrides), result)
+        return FlowTaskResult(task=task, result=result,
+                              wall_s=time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 — the point is to capture
+        return FlowTaskResult(
+            task=task, error_type=type(exc).__name__,
+            error_message=str(exc),
+            error_traceback=traceback_module.format_exc(),
+            wall_s=time.perf_counter() - t0)
+
+
+def _run_flow_task_args(args: Tuple[FlowTaskSpec, bool]) -> FlowTaskResult:
     """Worker-process entry point for :func:`run_designs`."""
-    name, scale, seed, target_mhz, with_eyes, with_thermal = task
-    result = run_design(name, scale=scale, seed=seed,
-                        target_frequency_mhz=target_mhz,
-                        with_eyes=with_eyes, with_thermal=with_thermal)
-    return name, result
+    task, use_cache = args
+    return run_flow_task(task, use_cache=use_cache)
+
+
+class FlowBatchError(RuntimeError):
+    """One or more tasks of a multi-design batch failed.
+
+    Raised only after every task has run, so the completed results (and
+    the caches they populated) are never lost to one bad design point.
+
+    Attributes:
+        failures: design name → failed :class:`FlowTaskResult`.
+        results: design name → completed :class:`DesignResult`.
+    """
+
+    def __init__(self, failures: Dict[str, FlowTaskResult],
+                 results: Dict[str, DesignResult]):
+        self.failures = failures
+        self.results = results
+        summary = "; ".join(
+            f"{name}: {out.error_type}: {out.error_message}"
+            for name, out in failures.items())
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(results)} design "
+            f"task(s) failed ({summary})")
 
 
 def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
@@ -376,6 +556,11 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
     in-process cache or the persistent disk cache (see
     :func:`flow_cache_dir`) are not recomputed.
 
+    A failure in one worker no longer aborts the batch: every task runs
+    to completion and the failures are raised afterwards as one
+    :class:`FlowBatchError` carrying both the errors and the completed
+    results.
+
     Args:
         names: Design-point names (duplicates are deduplicated).
         scale: Netlist scale shared by all points.
@@ -389,6 +574,9 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
 
     Returns:
         Mapping from design name to its :class:`DesignResult`.
+
+    Raises:
+        FlowBatchError: If any task failed (after all tasks finished).
     """
     ordered: List[str] = []
     for n in names:
@@ -396,13 +584,14 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
             ordered.append(n)
 
     results: Dict[str, DesignResult] = {}
+    failures: Dict[str, FlowTaskResult] = {}
     misses: List[str] = []
     for n in ordered:
         if use_cache:
-            mem_key = (n, scale, seed, with_eyes, with_thermal)
+            mem_key = (n, (), scale, seed, with_eyes, with_thermal)
             hit = _CACHE.get(mem_key)
             if hit is None and not (with_eyes and with_thermal):
-                hit = _CACHE.get((n, scale, seed, True, True))
+                hit = _CACHE.get((n, (), scale, seed, True, True))
             if hit is None:
                 hit = _disk_load(_disk_key(n, scale, seed, with_eyes,
                                            with_thermal))
@@ -414,22 +603,32 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
         misses.append(n)
 
     if misses:
-        tasks = [(n, scale, seed, target_frequency_mhz, with_eyes,
-                  with_thermal) for n in misses]
+        tasks = [(FlowTaskSpec(design=n, scale=scale, seed=seed,
+                               target_frequency_mhz=target_frequency_mhz,
+                               with_eyes=with_eyes,
+                               with_thermal=with_thermal), use_cache)
+                 for n in misses]
         if jobs > 1 and len(misses) > 1:
             with ProcessPoolExecutor(max_workers=min(jobs,
                                                      len(misses))) as pool:
-                computed = dict(pool.map(_run_design_task, tasks))
+                outcomes = list(pool.map(_run_flow_task_args, tasks))
         else:
-            computed = dict(_run_design_task(t) for t in tasks)
-        for n in misses:
-            result = computed[n]
-            results[n] = result
+            outcomes = [_run_flow_task_args(t) for t in tasks]
+        for n, out in zip(misses, outcomes):
+            if not out.ok:
+                failures[n] = out
+                continue
+            results[n] = out.result
             if use_cache:
-                _CACHE[(n, scale, seed, with_eyes, with_thermal)] = result
+                _CACHE[(n, (), scale, seed, with_eyes,
+                        with_thermal)] = out.result
+                # Worker processes persist to disk themselves; store again
+                # here so serial in-process runs are covered too.
                 _disk_store(_disk_key(n, scale, seed, with_eyes,
-                                      with_thermal), result)
+                                      with_thermal), out.result)
 
+    if failures:
+        raise FlowBatchError(failures, results)
     return {n: results[n] for n in ordered}
 
 

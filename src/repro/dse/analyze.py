@@ -1,0 +1,174 @@
+"""Sweep analysis: record extraction, Pareto frontiers, sensitivities.
+
+Operates on the JSONL records the runner produces (or any list of
+record dicts).  The analysis layer is deliberately free of flow
+imports — it only needs the flat ``params`` + ``metrics`` rows — so
+Pareto and sensitivity extraction work the same on a six-point paper
+sweep and on a thousand-point LHS study.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def load_points(path) -> List[Dict[str, object]]:
+    """Read a ``points.jsonl`` result store into record dicts."""
+    records = []
+    with open(Path(path)) as fh:
+        for line in fh:
+            if line.strip():
+                records.append(json.loads(line))
+    return records
+
+
+def successes(records: Sequence[Mapping[str, object]]
+              ) -> List[Mapping[str, object]]:
+    """Records that evaluated cleanly (have metrics, no error)."""
+    return [r for r in records
+            if r.get("error") is None and r.get("metrics") is not None]
+
+
+def failures(records: Sequence[Mapping[str, object]]
+             ) -> List[Mapping[str, object]]:
+    """Structured failure rows of a sweep."""
+    return [r for r in records if r.get("error") is not None]
+
+
+def flat_records(records: Sequence[Mapping[str, object]]
+                 ) -> List[Dict[str, object]]:
+    """Merge each success's params and metrics into one flat dict.
+
+    Params and metrics share a namespace; on collision the metric wins
+    (it is the measured value).  The point ``id`` is kept.
+    """
+    out = []
+    for r in successes(records):
+        flat: Dict[str, object] = {"id": r.get("id")}
+        flat.update(r.get("params", {}))
+        flat.update(r.get("metrics", {}))
+        out.append(flat)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Pareto-frontier extraction.
+# --------------------------------------------------------------------- #
+
+
+def dominates(a: Mapping[str, object], b: Mapping[str, object],
+              objectives: Mapping[str, str]) -> bool:
+    """Whether ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates when it is no worse in every objective and strictly
+    better in at least one.  ``objectives`` maps metric name to sense
+    (``"min"`` or ``"max"``).
+    """
+    strictly_better = False
+    for metric, sense in objectives.items():
+        av, bv = a[metric], b[metric]
+        if sense == "max":
+            av, bv = -av, -bv
+        if av > bv:
+            return False
+        if av < bv:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(records: Sequence[Mapping[str, object]],
+                 objectives: Mapping[str, str]
+                 ) -> List[Mapping[str, object]]:
+    """Non-dominated subset of ``records`` under ``objectives``.
+
+    Records missing any objective metric (absent key or ``None``) are
+    not comparable and are excluded from the candidate set.  Duplicated
+    objective vectors are all kept (none dominates the other), and the
+    result preserves input order.
+
+    Raises:
+        ValueError: On an empty objective set or a bad sense.
+    """
+    if not objectives:
+        raise ValueError("pareto_front needs at least one objective")
+    for metric, sense in objectives.items():
+        if sense not in ("min", "max"):
+            raise ValueError(f"objective {metric!r}: sense must be "
+                             f"min or max, got {sense!r}")
+    candidates = [
+        r for r in records
+        if all(r.get(m) is not None for m in objectives)
+    ]
+    return [
+        r for r in candidates
+        if not any(dominates(other, r, objectives)
+                   for other in candidates if other is not r)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Per-axis sensitivity summaries.
+# --------------------------------------------------------------------- #
+
+
+def elasticity(v0: float, v1: float, m0: float, m1: float) -> float:
+    """Normalized endpoint sensitivity d(metric)/d(param) x (param/metric)
+    — the same dimensionless elasticity ``SweepResult.sensitivity``
+    reports."""
+    if v1 == v0 or m0 == 0:
+        return 0.0
+    return ((m1 - m0) / m0) / ((v1 - v0) / v0)
+
+
+def axis_sensitivity(records: Sequence[Mapping[str, object]],
+                     axis: str, metric: str,
+                     group_by: Sequence[str] = ()) -> Optional[float]:
+    """Mean endpoint elasticity of ``metric`` along one axis.
+
+    Records are grouped by the other axes in ``group_by``; within each
+    group the elasticity is taken between the smallest and largest axis
+    value, and the group elasticities are averaged.  Returns ``None``
+    when no group spans two distinct axis values.
+    """
+    groups: Dict[Tuple, List[Mapping[str, object]]] = {}
+    for r in records:
+        if r.get(axis) is None or r.get(metric) is None:
+            continue
+        key = tuple(r.get(g) for g in group_by if g != axis)
+        groups.setdefault(key, []).append(r)
+    values = []
+    for group in groups.values():
+        ordered = sorted(group, key=lambda r: r[axis])
+        lo, hi = ordered[0], ordered[-1]
+        if hi[axis] == lo[axis]:
+            continue
+        values.append(elasticity(lo[axis], hi[axis],
+                                 lo[metric], hi[metric]))
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def sensitivity_summary(records: Sequence[Mapping[str, object]],
+                        axes: Sequence[str],
+                        metrics: Sequence[str]
+                        ) -> Dict[str, Dict[str, Optional[float]]]:
+    """Elasticity of every metric to every numeric axis.
+
+    Returns ``{axis: {metric: elasticity-or-None}}`` — the n-dimensional
+    generalization of the per-sweep ``SweepResult.sensitivity``.
+    """
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for axis in axes:
+        numeric = [r for r in records
+                   if isinstance(r.get(axis), (int, float))
+                   and not isinstance(r.get(axis), bool)]
+        out[axis] = {
+            metric: axis_sensitivity(numeric, axis, metric,
+                                     group_by=[a for a in axes
+                                               if a != axis])
+            for metric in metrics
+        }
+    return out

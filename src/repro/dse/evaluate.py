@@ -1,0 +1,212 @@
+"""Point evaluators: turn one sweep point into a flat metric record.
+
+Each evaluator maps ``(sweep, base_spec, params)`` to a ``{metric:
+value}`` dict.  ``"flow"`` runs the full co-design flow through the
+single-point task API (and therefore the flow's per-point disk cache);
+the cheap stage-level evaluators (``"geometry"``, ``"link"``,
+``"link_pdn"``) re-run only the affected models, the same shortcuts the
+sensitivity studies in ``repro.studies`` always took — those studies are
+now thin wrappers over these evaluators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..chiplet.bumps import plan_for_design
+from ..core.flow import (DesignResult, FlowTaskSpec, run_flow_task)
+from ..cost.model import package_cost
+from ..interposer.pdn import build_pdn
+from ..interposer.placement import place_dies
+from ..pi.impedance import analyze_pdn_impedance
+from ..si.channel import Channel, measure_channel
+from ..si.tline import line_for_spec
+from ..tech.interposer import InterposerSpec, get_spec
+from .space import FLOW_AXIS_PARAMS, SweepSpec
+
+#: Paper-scale chiplet cell areas (um^2) used by the geometry/PDN
+#: evaluators — the same anchors ``studies.sensitivity`` always used.
+LOGIC_CELL_AREA_UM2 = 465_000
+MEMORY_CELL_AREA_UM2 = 485_000
+
+
+class PointEvaluationError(RuntimeError):
+    """An evaluator failed; carries the structured cause for the runner.
+
+    Attributes:
+        error_type: Original exception class name.
+        error_message: Original exception message.
+        error_traceback: Formatted traceback of the original failure.
+    """
+
+    def __init__(self, error_type: str, error_message: str,
+                 error_traceback: Optional[str] = None):
+        self.error_type = error_type
+        self.error_message = error_message
+        self.error_traceback = error_traceback
+        super().__init__(f"{error_type}: {error_message}")
+
+
+def split_params(sweep: SweepSpec, params: Mapping[str, object]
+                 ) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Split a point's params into (flow params, spec-field overrides).
+
+    Tied axis fields are expanded here: an axis with ``tied`` fields
+    contributes one override per tied field, all at the axis value.
+    """
+    tied = {a.name: a.tied for a in sweep.axes}
+    flow: Dict[str, object] = {}
+    overrides: Dict[str, object] = {}
+    for key, value in params.items():
+        if key in FLOW_AXIS_PARAMS:
+            flow[key] = value
+        else:
+            overrides[key] = value
+            for extra in tied.get(key, ()):
+                overrides[extra] = value
+    return flow, overrides
+
+
+def point_spec(sweep: SweepSpec, params: Mapping[str, object],
+               base_spec: Optional[InterposerSpec] = None
+               ) -> InterposerSpec:
+    """The concrete ``InterposerSpec`` a point evaluates against.
+
+    Starts from ``base_spec`` (or the sweep's registered base design,
+    or the point's ``design`` param), applies the point's spec-field
+    overrides, and validates.
+    """
+    flow, overrides = split_params(sweep, params)
+    if base_spec is None:
+        base_spec = get_spec(str(flow.get("design", sweep.design)))
+    if overrides:
+        base_spec = dataclasses.replace(base_spec, **overrides)
+        base_spec.validate()
+    return base_spec
+
+
+def flow_metrics(result: DesignResult) -> Dict[str, Optional[float]]:
+    """Flat metric record of one full flow result.
+
+    The record covers the paper's evaluation axes — power, Fmax, link
+    delay, PDN impedance, IR drop, peak temperature — plus the package
+    cost model; metrics a partial run skipped are ``None``.
+    """
+    cost = package_cost(result.placement)
+    metrics: Dict[str, Optional[float]] = {
+        "area_mm2": float(result.placement.area_mm2),
+        "power_mw": float(result.fullchip.total_power_mw),
+        "fmax_mhz": float(result.logic.fmax_mhz),
+        "system_fmax_mhz": float(result.fullchip.system_fmax_mhz),
+        "l2m_delay_ps": float(result.l2m_channel.total_delay_ps),
+        "l2l_delay_ps": float(result.l2l_channel.total_delay_ps),
+        "l2m_power_uw": float(result.l2m_channel.total_power_uw),
+        "cost_usd": float(cost.cost_per_good_system),
+        "interposer_yield": float(cost.interposer_yield),
+        "pdn_z_1ghz_ohm": (float(result.pdn_impedance.z_at_1ghz_ohm)
+                           if result.pdn_impedance else None),
+        "ir_drop_mv": (float(result.ir_drop.worst_drop_mv)
+                       if result.ir_drop else None),
+        "settling_time_us": (float(result.power_transient.settling_time_us)
+                             if result.power_transient else None),
+        "peak_temp_c": (float(result.thermal.peak_c)
+                        if result.thermal else None),
+        "l2m_eye_height_v": (float(result.l2m_eye.eye_height_v)
+                             if result.l2m_eye else None),
+    }
+    return metrics
+
+
+def _evaluate_flow(sweep: SweepSpec,
+                   base_spec: Optional[InterposerSpec],
+                   params: Mapping[str, object]) -> Dict[str, object]:
+    if base_spec is not None:
+        raise ValueError("the flow evaluator runs registered designs "
+                         "(by name); it does not take a base_spec")
+    flow, overrides = split_params(sweep, params)
+    task = FlowTaskSpec(
+        design=get_spec(str(flow.get("design", sweep.design))).name,
+        scale=float(flow.get("scale", sweep.scale)),
+        seed=int(flow.get("seed", sweep.seed)),
+        target_frequency_mhz=float(flow.get("target_frequency_mhz",
+                                            sweep.target_frequency_mhz)),
+        with_eyes=sweep.with_eyes,
+        with_thermal=sweep.with_thermal,
+        spec_overrides=tuple(sorted(overrides.items())))
+    out = run_flow_task(task)
+    if not out.ok:
+        raise PointEvaluationError(out.error_type, out.error_message,
+                                   out.error_traceback)
+    return dict(flow_metrics(out.result), design=task.design)
+
+
+def _geometry(spec: InterposerSpec) -> Dict[str, object]:
+    lp = plan_for_design(spec, "logic", cell_area_um2=LOGIC_CELL_AREA_UM2)
+    mp = plan_for_design(spec, "memory",
+                         cell_area_um2=MEMORY_CELL_AREA_UM2)
+    placement = place_dies(spec, lp, mp)
+    return {
+        "logic_die_mm": float(lp.width_mm),
+        "memory_die_mm": float(mp.width_mm),
+        "interposer_area_mm2": float(placement.area_mm2),
+        "_placement": placement,  # consumed by link_pdn, stripped below
+    }
+
+
+def _evaluate_geometry(sweep: SweepSpec,
+                       base_spec: Optional[InterposerSpec],
+                       params: Mapping[str, object]) -> Dict[str, object]:
+    spec = point_spec(sweep, params, base_spec)
+    metrics = _geometry(spec)
+    metrics.pop("_placement")
+    return metrics
+
+
+def _link(sweep: SweepSpec, spec: InterposerSpec,
+          params: Mapping[str, object]) -> Dict[str, object]:
+    flow, _ = split_params(sweep, params)
+    length_um = float(flow.get("length_um", sweep.length_um))
+    line = line_for_spec(spec)
+    rep = measure_channel(Channel(spec.name, line=line,
+                                  length_um=length_um))
+    return {
+        "delay_ps": float(rep.interconnect_delay_ps),
+        "power_uw": float(rep.interconnect_power_uw),
+        "r_ohm_per_mm": float(line.r_per_m * 1e-3),
+        "line_cap_ff_per_mm": float(line.c_per_m * 1e12),
+    }
+
+
+def _evaluate_link(sweep: SweepSpec,
+                   base_spec: Optional[InterposerSpec],
+                   params: Mapping[str, object]) -> Dict[str, object]:
+    spec = point_spec(sweep, params, base_spec)
+    return _link(sweep, spec, params)
+
+
+def _evaluate_link_pdn(sweep: SweepSpec,
+                       base_spec: Optional[InterposerSpec],
+                       params: Mapping[str, object]) -> Dict[str, object]:
+    spec = point_spec(sweep, params, base_spec)
+    metrics = _link(sweep, spec, params)
+    placement = _geometry(spec).pop("_placement")
+    z = analyze_pdn_impedance(build_pdn(placement), points_per_decade=6)
+    metrics["pdn_z_1ghz_ohm"] = float(z.z_at_1ghz_ohm)
+    return metrics
+
+
+#: Evaluator registry (names are what space files reference).
+EVALUATORS = {
+    "flow": _evaluate_flow,
+    "geometry": _evaluate_geometry,
+    "link": _evaluate_link,
+    "link_pdn": _evaluate_link_pdn,
+}
+
+
+def evaluate_point(sweep: SweepSpec, params: Mapping[str, object],
+                   base_spec: Optional[InterposerSpec] = None
+                   ) -> Dict[str, object]:
+    """Evaluate one point; returns its metric dict (may raise)."""
+    return EVALUATORS[sweep.evaluator](sweep, base_spec, params)

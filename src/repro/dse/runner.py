@@ -1,0 +1,289 @@
+"""Resumable sweep execution with a JSONL result store.
+
+:class:`SweepRunner` fans the points of a :class:`~repro.dse.space.SweepSpec`
+out over worker processes (the same process-pool pattern — and, for flow
+points, the same per-point disk cache — as
+:func:`repro.core.flow.run_designs`) and checkpoints every completed
+point to ``<out_dir>/points.jsonl``.  Killing a sweep and re-running
+with ``resume=True`` recomputes nothing that is already on disk and
+appends only the remaining points; because point generation, evaluation,
+and serialization are all deterministic, the resumed store is
+byte-identical to an uninterrupted run.
+
+Store layout (``results/sweeps/<name>/`` by default)::
+
+    manifest.json   {"name", "spec", "spec_hash", "total_points"}
+    points.jsonl    one canonical-JSON record per completed point:
+                    {"id", "index", "params", "metrics", "error"}
+                    (metrics null on failure; error {"type","message"}
+                    null on success)
+    timings.jsonl   {"id", "wall_s", "cached"} per execution — wall
+                    times live here, outside the deterministic store
+    errors.log      full tracebacks of failed points
+
+Worker errors become structured failure rows instead of aborting the
+sweep; the surviving points still complete and persist.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..tech.interposer import InterposerSpec
+from .evaluate import PointEvaluationError, evaluate_point
+from .space import SweepSpec
+
+
+def default_sweep_dir(name: str) -> Path:
+    """``results/sweeps/<name>`` at the repository root."""
+    return (Path(__file__).resolve().parents[3] / "results" / "sweeps"
+            / name)
+
+
+def _canonical_line(record: Dict[str, object]) -> str:
+    """Canonical JSON encoding — the byte-stability of resume rests on
+    this being a pure function of the record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False) + "\n"
+
+
+def _sanitize(value: object) -> object:
+    """JSON-safe metric value (non-finite floats become null)."""
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return value
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    return float(value)  # numpy scalars etc.
+
+
+def _evaluate_task(args: Tuple[SweepSpec, Optional[InterposerSpec], int,
+                               Dict[str, object]]
+                   ) -> Tuple[Dict[str, object], float, Optional[str]]:
+    """Worker entry: evaluate one point, never raise.
+
+    Returns ``(record, wall_s, traceback_text)``; the record is the
+    deterministic row destined for ``points.jsonl``.
+    """
+    sweep, base_spec, index, params = args
+    record: Dict[str, object] = {
+        "id": sweep.point_id(index),
+        "index": index,
+        "params": params,
+        "metrics": None,
+        "error": None,
+    }
+    t0 = time.perf_counter()
+    tb: Optional[str] = None
+    try:
+        metrics = evaluate_point(sweep, params, base_spec)
+        record["metrics"] = {k: _sanitize(v) for k, v in metrics.items()}
+    except PointEvaluationError as exc:
+        record["error"] = {"type": exc.error_type,
+                           "message": exc.error_message}
+        tb = exc.error_traceback
+    except Exception as exc:  # noqa: BLE001 — failure rows by design
+        record["error"] = {"type": type(exc).__name__,
+                           "message": str(exc)}
+        tb = traceback_module.format_exc()
+    return record, time.perf_counter() - t0, tb
+
+
+class SweepRunner:
+    """Execute a sweep spec with checkpointing and resume.
+
+    Args:
+        spec: The sweep to run.
+        out_dir: Result-store directory; ``None`` runs fully in memory
+            (no files) — what the sensitivity wrappers use.  Defaults
+            to :func:`default_sweep_dir` when ``persist`` is left on.
+        jobs: Worker processes (1 = evaluate in this process).
+        base_spec: Optional unregistered ``InterposerSpec`` to sweep
+            around instead of a registered design (stage evaluators
+            only; in-memory runs).
+        progress: Optional callback receiving one line per point.
+    """
+
+    def __init__(self, spec: SweepSpec,
+                 out_dir: Optional[Path] = None,
+                 jobs: int = 1,
+                 base_spec: Optional[InterposerSpec] = None,
+                 persist: bool = True,
+                 progress: Optional[Callable[[str], None]] = None):
+        spec.validate()
+        self.spec = spec
+        self.jobs = max(1, int(jobs))
+        self.base_spec = base_spec
+        self.progress = progress
+        if not persist:
+            self.out_dir = None
+        else:
+            self.out_dir = Path(out_dir) if out_dir is not None \
+                else default_sweep_dir(spec.name)
+
+    # ---------------------------------------------------------------- #
+    # Store paths.
+    # ---------------------------------------------------------------- #
+
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        return None if self.out_dir is None \
+            else self.out_dir / "manifest.json"
+
+    @property
+    def points_path(self) -> Optional[Path]:
+        return None if self.out_dir is None \
+            else self.out_dir / "points.jsonl"
+
+    @property
+    def timings_path(self) -> Optional[Path]:
+        return None if self.out_dir is None \
+            else self.out_dir / "timings.jsonl"
+
+    @property
+    def errors_path(self) -> Optional[Path]:
+        return None if self.out_dir is None \
+            else self.out_dir / "errors.log"
+
+    # ---------------------------------------------------------------- #
+    # Resume bookkeeping.
+    # ---------------------------------------------------------------- #
+
+    def _load_done(self, points: List[Dict[str, object]]
+                   ) -> List[Dict[str, object]]:
+        """Validated already-completed prefix of the point list."""
+        if self.points_path is None or not self.points_path.exists():
+            return []
+        done: List[Dict[str, object]] = []
+        with open(self.points_path) as fh:
+            for i, line in enumerate(fh):
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if i >= len(points):
+                    raise ValueError(
+                        f"{self.points_path}: has more rows than the "
+                        f"spec generates ({len(points)} points)")
+                if record.get("index") != i \
+                        or record.get("params") != points[i]:
+                    raise ValueError(
+                        f"{self.points_path}: row {i} does not match "
+                        f"the spec's point list; refusing to resume")
+                done.append(record)
+        return done
+
+    def _check_manifest(self, resume: bool, total: int) -> None:
+        path = self.manifest_path
+        if path is None:
+            return
+        manifest = {
+            "name": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "total_points": total,
+        }
+        if path.exists() and resume:
+            existing = json.loads(path.read_text())
+            if existing.get("spec_hash") != manifest["spec_hash"]:
+                raise ValueError(
+                    f"{path}: existing sweep was generated by a "
+                    f"different spec (hash {existing.get('spec_hash')} "
+                    f"vs {manifest['spec_hash']}); use a new sweep name "
+                    f"or delete the store")
+            return
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                        + "\n")
+
+    # ---------------------------------------------------------------- #
+    # Execution.
+    # ---------------------------------------------------------------- #
+
+    def run(self, resume: bool = False,
+            limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Run the sweep; returns all point records in point order.
+
+        Args:
+            resume: Keep completed rows in the store and compute only
+                the remaining points.  Off: the store is restarted.
+            limit: Stop after the store holds this many rows (tests use
+                it to simulate an interrupted sweep).
+        """
+        points = self.spec.points()
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self._check_manifest(resume, len(points))
+            if not resume:
+                for path in (self.points_path, self.timings_path,
+                             self.errors_path):
+                    if path.exists():
+                        path.unlink()
+        done = self._load_done(points) if resume else []
+
+        stop = len(points) if limit is None else min(limit, len(points))
+        todo = [(i, points[i]) for i in range(len(done), stop)]
+        records = list(done)
+        if not todo:
+            return records
+
+        tasks = [(self.spec, self.base_spec, i, params)
+                 for i, params in todo]
+        if self.jobs > 1 and len(tasks) > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)))
+            # map() yields in submission order, which is point order —
+            # the store stays an ordered prefix of the point list.
+            outcomes = pool.map(_evaluate_task, tasks, chunksize=1)
+        else:
+            pool = None
+            outcomes = map(_evaluate_task, tasks)
+
+        try:
+            points_fh = timings_fh = None
+            if self.out_dir is not None:
+                points_fh = open(self.points_path, "a")
+                timings_fh = open(self.timings_path, "a")
+            try:
+                for (index, _), (record, wall_s, tb) in zip(todo, outcomes):
+                    records.append(record)
+                    if points_fh is not None:
+                        points_fh.write(_canonical_line(record))
+                        points_fh.flush()  # checkpoint per point
+                        timings_fh.write(_canonical_line({
+                            "id": record["id"],
+                            "wall_s": round(wall_s, 4),
+                            "cached": False,
+                        }))
+                        timings_fh.flush()
+                        if tb:
+                            with open(self.errors_path, "a") as err_fh:
+                                err_fh.write(
+                                    f"--- {record['id']} ---\n{tb}\n")
+                    if self.progress is not None:
+                        status = ("ok" if record["error"] is None else
+                                  f"FAILED ({record['error']['type']})")
+                        self.progress(
+                            f"[{index + 1}/{len(points)}] "
+                            f"{record['id']} {status} {wall_s:.2f}s")
+            finally:
+                if points_fh is not None:
+                    points_fh.close()
+                    timings_fh.close()
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return records
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1,
+              base_spec: Optional[InterposerSpec] = None
+              ) -> List[Dict[str, object]]:
+    """Evaluate a sweep fully in memory (no result store)."""
+    return SweepRunner(spec, jobs=jobs, base_spec=base_spec,
+                       persist=False).run()

@@ -73,12 +73,17 @@ def _areas(netlist: Netlist) -> Dict[str, float]:
 
 
 class _GainBuckets:
-    """FM gain-bucket structure with O(1) best-gain retrieval."""
+    """FM gain-bucket structure with O(1) best-gain retrieval.
+
+    Buckets are insertion-ordered (dicts used as ordered sets), so
+    equal-gain ties break by insertion order and the whole partitioner
+    is reproducible regardless of ``PYTHONHASHSEED``.
+    """
 
     def __init__(self, max_gain: int):
         self.max_gain = max_gain
-        self.buckets: List[List[Set[str]]] = [
-            [set() for _ in range(2 * max_gain + 1)] for _ in range(2)]
+        self.buckets: List[List[Dict[str, None]]] = [
+            [{} for _ in range(2 * max_gain + 1)] for _ in range(2)]
         self.gain_of: Dict[str, int] = {}
         self.best: List[int] = [-1, -1]
 
@@ -90,14 +95,14 @@ class _GainBuckets:
         gain = max(-self.max_gain, min(self.max_gain, gain))
         self.gain_of[name] = gain
         slot = self._slot(gain)
-        self.buckets[part][slot].add(name)
+        self.buckets[part][slot][name] = None
         if slot > self.best[part]:
             self.best[part] = slot
 
     def remove(self, name: str, part: int) -> None:
         """Remove a cell from the buckets."""
         gain = self.gain_of.pop(name)
-        self.buckets[part][self._slot(gain)].discard(name)
+        self.buckets[part][self._slot(gain)].pop(name, None)
 
     def update(self, name: str, part: int, delta: int) -> None:
         """Shift a cell's gain by delta."""
@@ -105,10 +110,10 @@ class _GainBuckets:
         new = max(-self.max_gain, min(self.max_gain, old + delta))
         if new == old:
             return
-        self.buckets[part][self._slot(old)].discard(name)
+        self.buckets[part][self._slot(old)].pop(name, None)
         self.gain_of[name] = new
         slot = self._slot(new)
-        self.buckets[part][slot].add(name)
+        self.buckets[part][slot][name] = None
         if slot > self.best[part]:
             self.best[part] = slot
 
@@ -119,8 +124,9 @@ class _GainBuckets:
         if self.best[part] < 0:
             return None
         slot = self.best[part]
-        name = next(iter(self.buckets[part][slot]))
-        self.buckets[part][slot].discard(name)
+        # LIFO tie-breaking (classic FM): most recently touched first.
+        name = next(reversed(self.buckets[part][slot]))
+        del self.buckets[part][slot][name]
         gain = self.gain_of.pop(name)
         return name, gain
 
@@ -187,7 +193,9 @@ def fm_bipartition(netlist: Netlist,
             raise ValueError(f"initial assignment missing {len(missing)} "
                              f"instances, e.g. {missing[0]!r}")
 
-    nets_of = {n: netlist.nets_of(n) for n in names}
+    # Sorted so neighbour-update order (and hence tie-breaking) is
+    # independent of set iteration order / PYTHONHASHSEED.
+    nets_of = {n: sorted(netlist.nets_of(n)) for n in names}
     max_deg = max((len(v) for v in nets_of.values()), default=1)
     endpoints = {net.name: ([net.driver] if net.driver else []) + net.sinks
                  for net in netlist.nets.values()}

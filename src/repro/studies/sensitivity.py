@@ -2,10 +2,14 @@
 
 The journal extension of the paper points at exactly this direction —
 "exploring the sensitivity of interposer dimensions and material
-properties in 2.5D integrated circuits."  This module provides the sweep
-machinery: take a baseline technology, perturb one specification field
-(bump pitch, wire width, dielectric thickness, dielectric constant...),
-and re-run the affected flow stage to measure the response.
+properties in 2.5D integrated circuits."  The original hand-rolled 1-D
+sweeps now ride on the design-space exploration subsystem
+(``repro.dse``): each entry point declares a one-axis
+:class:`~repro.dse.space.SweepSpec`, evaluates it through the shared
+runner/evaluators, and adapts the records back into the historical
+:class:`SweepResult` shape.  For multi-axis spaces, persistence, resume,
+parallelism, and Pareto analysis, use ``repro.dse`` (or the ``sweep``
+CLI subcommand) directly.
 
 All sweeps operate on :func:`dataclasses.replace` copies of the
 immutable :class:`~repro.tech.interposer.InterposerSpec`, so the
@@ -16,14 +20,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from ..chiplet.bumps import plan_for_design
-from ..interposer.placement import place_dies
-from ..interposer.pdn import build_pdn
-from ..pi.impedance import analyze_pdn_impedance
-from ..si.channel import Channel, measure_channel
-from ..si.tline import line_for_spec
+from ..dse.runner import run_sweep
+from ..dse.space import Axis, SweepSpec as DseSweepSpec
 from ..tech.interposer import InterposerSpec
 
 
@@ -92,6 +92,29 @@ class SweepResult:
         return ((m1 - m0) / m0) / ((v1 - v0) / v0)
 
 
+def _run_one_axis(base: InterposerSpec, axis: Axis, evaluator: str,
+                  metrics: Sequence[str],
+                  length_um: float = 2000.0) -> SweepResult:
+    """Evaluate a one-axis sweep around ``base`` on the DSE runner."""
+    spec = DseSweepSpec(name=f"{base.name}-{axis.name}",
+                        design=base.name, evaluator=evaluator,
+                        sampler="grid", length_um=length_um,
+                        axes=(axis,))
+    records = run_sweep(spec, base_spec=base)
+    points = []
+    for record in records:
+        if record["error"] is not None:
+            err = record["error"]
+            raise RuntimeError(
+                f"sweep point {record['params']} failed: "
+                f"{err['type']}: {err['message']}")
+        points.append(SweepPoint(
+            value=record["params"][axis.name],
+            metrics={m: record["metrics"][m] for m in metrics}))
+    return SweepResult(parameter=axis.name, baseline=base.name,
+                       points=points)
+
+
 def sweep_bump_pitch(base: InterposerSpec,
                      pitches_um: Sequence[float]) -> SweepResult:
     """Chiplet and interposer geometry vs micro-bump pitch.
@@ -100,20 +123,11 @@ def sweep_bump_pitch(base: InterposerSpec,
     smaller dies → smaller interposer (until the memory die becomes
     area-limited and stops shrinking).
     """
-    points = []
-    for spec in vary_spec(base, "microbump_pitch_um", pitches_um):
-        lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
-        mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
-        placement = place_dies(spec, lp, mp)
-        points.append(SweepPoint(
-            value=spec.microbump_pitch_um,
-            metrics={
-                "logic_die_mm": lp.width_mm,
-                "memory_die_mm": mp.width_mm,
-                "interposer_area_mm2": placement.area_mm2,
-            }))
-    return SweepResult(parameter="microbump_pitch_um",
-                       baseline=base.name, points=points)
+    axis = Axis("microbump_pitch_um",
+                values=tuple(float(p) for p in pitches_um))
+    return _run_one_axis(base, axis, "geometry",
+                         ["logic_die_mm", "memory_die_mm",
+                          "interposer_area_mm2"])
 
 
 def sweep_wire_width(base: InterposerSpec,
@@ -121,27 +135,14 @@ def sweep_wire_width(base: InterposerSpec,
                      length_um: float = 2000.0) -> SweepResult:
     """Link delay/power vs wire width at fixed length (Table VI's axis).
 
-    Spacing tracks width (min-pitch routing).
+    Spacing tracks width (min-pitch routing) via a tied axis field.
     """
-    points = []
-    for w in widths_um:
-        spec = dataclasses.replace(base,
-                                   name=f"{base.name}_w{w}",
-                                   min_wire_width_um=w,
-                                   min_wire_space_um=w)
-        spec.validate()
-        line = line_for_spec(spec)
-        rep = measure_channel(Channel(spec.name, line=line,
-                                      length_um=length_um))
-        points.append(SweepPoint(
-            value=w,
-            metrics={
-                "delay_ps": rep.interconnect_delay_ps,
-                "power_uw": rep.interconnect_power_uw,
-                "r_ohm_per_mm": line.r_per_m * 1e-3,
-            }))
-    return SweepResult(parameter="min_wire_width_um",
-                       baseline=base.name, points=points)
+    axis = Axis("min_wire_width_um",
+                values=tuple(float(w) for w in widths_um),
+                tied=("min_wire_space_um",))
+    return _run_one_axis(base, axis, "link",
+                         ["delay_ps", "power_uw", "r_ohm_per_mm"],
+                         length_um=length_um)
 
 
 def sweep_dielectric_thickness(base: InterposerSpec,
@@ -153,23 +154,9 @@ def sweep_dielectric_thickness(base: InterposerSpec,
     pushes the PDN planes further from the chiplet (worse impedance) —
     the trade the paper's glass 3D stackup sits on.
     """
-    points = []
-    for spec in vary_spec(base, "dielectric_thickness_um",
-                          thicknesses_um):
-        line = line_for_spec(spec)
-        rep = measure_channel(Channel(spec.name, line=line,
-                                      length_um=length_um))
-        lp = plan_for_design(spec, "logic", cell_area_um2=465_000)
-        mp = plan_for_design(spec, "memory", cell_area_um2=485_000)
-        pdn = build_pdn(place_dies(spec, lp, mp))
-        z = analyze_pdn_impedance(pdn, points_per_decade=6)
-        points.append(SweepPoint(
-            value=spec.dielectric_thickness_um,
-            metrics={
-                "line_cap_ff_per_mm": line.c_per_m * 1e12,
-                "delay_ps": rep.interconnect_delay_ps,
-                "power_uw": rep.interconnect_power_uw,
-                "pdn_z_1ghz_ohm": z.z_at_1ghz_ohm,
-            }))
-    return SweepResult(parameter="dielectric_thickness_um",
-                       baseline=base.name, points=points)
+    axis = Axis("dielectric_thickness_um",
+                values=tuple(float(t) for t in thicknesses_um))
+    return _run_one_axis(base, axis, "link_pdn",
+                         ["line_cap_ff_per_mm", "delay_ps", "power_uw",
+                          "pdn_z_1ghz_ohm"],
+                         length_um=length_um)

@@ -24,3 +24,61 @@ class TestCli:
     def test_rejects_unknown_design(self):
         with pytest.raises(SystemExit):
             main(["fr4"])
+
+    def test_design_alias_accepted(self, capsys):
+        # get_spec-style aliases (case/punctuation variants) resolve.
+        rc = main(["Silicon_3D", "--scale", "0.015", "--no-eyes",
+                   "--no-thermal"])
+        assert rc == 0
+        assert "silicon_3d" in capsys.readouterr().out
+
+    def test_seed_threaded_to_flow(self, capsys):
+        rc = main(["silicon_3d", "--scale", "0.015", "--seed", "11",
+                   "--no-eyes", "--no-thermal"])
+        assert rc == 0
+        assert "silicon_3d" in capsys.readouterr().out
+
+
+SPACE_YAML = """\
+name: cli-smoke
+design: glass_25d
+evaluator: link
+length_um: 1000
+axes:
+  - name: min_wire_width_um
+    values: [1.0, 2.0]
+    tied: [min_wire_space_um]
+objectives:
+  delay_ps: min
+  power_uw: min
+"""
+
+
+class TestSweepCli:
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(SPACE_YAML)
+        out_dir = tmp_path / "sweep"
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert (out_dir / "points.jsonl").exists()
+        assert (out_dir / "manifest.json").exists()
+
+    def test_sweep_resume_second_call(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(SPACE_YAML)
+        out_dir = tmp_path / "sweep"
+        assert main(["sweep", "--space", str(space), "--out",
+                     str(out_dir), "--limit", "1"]) == 0
+        points = out_dir / "points.jsonl"
+        assert len(points.read_text().splitlines()) == 1
+        assert main(["sweep", "--space", str(space), "--out",
+                     str(out_dir), "--resume"]) == 0
+        assert len(points.read_text().splitlines()) == 2
+
+    def test_sweep_requires_space(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])

@@ -1,0 +1,143 @@
+"""Pareto-frontier and sensitivity analysis tests."""
+
+import random
+
+import pytest
+
+from repro.dse.analyze import (axis_sensitivity, dominates, elasticity,
+                               flat_records, load_points, pareto_front,
+                               sensitivity_summary)
+
+
+def rec(**kw):
+    return dict(kw)
+
+
+class TestDominates:
+    OBJ = {"cost": "min", "perf": "max"}
+
+    def test_strictly_better(self):
+        assert dominates(rec(cost=1, perf=5), rec(cost=2, perf=4),
+                         self.OBJ)
+
+    def test_equal_does_not_dominate(self):
+        a = rec(cost=1, perf=5)
+        assert not dominates(a, dict(a), self.OBJ)
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates(rec(cost=1, perf=3), rec(cost=2, perf=4),
+                             self.OBJ)
+
+    def test_max_sense(self):
+        assert dominates(rec(cost=1, perf=5), rec(cost=1, perf=4),
+                         self.OBJ)
+
+
+class TestParetoFront:
+    def test_simple_2d(self):
+        records = [rec(a=1, b=4), rec(a=2, b=2), rec(a=4, b=1),
+                   rec(a=3, b=3), rec(a=4, b=4)]
+        front = pareto_front(records, {"a": "min", "b": "min"})
+        assert [(r["a"], r["b"]) for r in front] \
+            == [(1, 4), (2, 2), (4, 1)]
+
+    def test_duplicates_all_kept(self):
+        records = [rec(a=1, b=1), rec(a=1, b=1), rec(a=2, b=2)]
+        front = pareto_front(records, {"a": "min", "b": "min"})
+        assert len(front) == 2
+
+    def test_none_metric_excluded(self):
+        records = [rec(a=1, b=None), rec(a=2, b=2)]
+        front = pareto_front(records, {"a": "min", "b": "min"})
+        assert front == [rec(a=2, b=2)]
+
+    def test_single_objective_is_argmin(self):
+        records = [rec(a=3), rec(a=1), rec(a=2)]
+        assert pareto_front(records, {"a": "min"}) == [rec(a=1)]
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_front([rec(a=1)], {})
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError, match="min or max"):
+            pareto_front([rec(a=1)], {"a": "best"})
+
+    def test_property_random_clouds(self):
+        """Property check on random clouds: the front is non-empty, no
+        front point is dominated by ANY candidate, every excluded
+        candidate is dominated by some front member, and the front set
+        is invariant under input shuffling."""
+        objectives = {"x": "min", "y": "min", "z": "max"}
+        rng = random.Random(20230)
+        for trial in range(25):
+            n = rng.randrange(1, 40)
+            records = [
+                rec(x=rng.randrange(6), y=rng.randrange(6),
+                    z=rng.randrange(6), tag=i)
+                for i in range(n)
+            ]
+            front = pareto_front(records, objectives)
+            assert front
+            front_tags = {r["tag"] for r in front}
+            for r in front:
+                assert not any(dominates(o, r, objectives)
+                               for o in records)
+            for r in records:
+                if r["tag"] not in front_tags:
+                    assert any(dominates(f, r, objectives)
+                               for f in front)
+            shuffled = records[:]
+            rng.shuffle(shuffled)
+            assert {r["tag"] for r in
+                    pareto_front(shuffled, objectives)} == front_tags
+
+
+class TestSensitivity:
+    def test_elasticity_of_linear_metric_is_one(self):
+        assert elasticity(2.0, 4.0, 20.0, 40.0) == pytest.approx(1.0)
+
+    def test_elasticity_guards(self):
+        assert elasticity(2.0, 2.0, 1.0, 5.0) == 0.0
+        assert elasticity(1.0, 2.0, 0.0, 5.0) == 0.0
+
+    def test_axis_sensitivity_groups_other_axes(self):
+        # metric = p * q: elasticity to p is exactly 1 in every q-slice.
+        records = [rec(p=p, q=q, m=p * q)
+                   for p in (1.0, 2.0, 4.0) for q in (3.0, 5.0)]
+        e = axis_sensitivity(records, "p", "m", group_by=["q"])
+        assert e == pytest.approx(1.0)
+
+    def test_summary_shape_and_categorical_skip(self):
+        records = [rec(design="glass_25d", p=1.0, m=2.0),
+                   rec(design="glass_25d", p=2.0, m=4.0)]
+        out = sensitivity_summary(records, ["design", "p"], ["m"])
+        assert out["p"]["m"] == pytest.approx(1.0)
+        assert out["design"]["m"] is None  # non-numeric axis
+
+    def test_no_span_returns_none(self):
+        records = [rec(p=1.0, m=2.0)]
+        assert axis_sensitivity(records, "p", "m") is None
+
+
+class TestRecordPlumbing:
+    def test_flat_records_merges_params_and_metrics(self):
+        records = [
+            {"id": "p00000", "index": 0, "params": {"w": 1.0},
+             "metrics": {"delay": 2.0}, "error": None},
+            {"id": "p00001", "index": 1, "params": {"w": -1.0},
+             "metrics": None,
+             "error": {"type": "ValueError", "message": "bad"}},
+        ]
+        flat = flat_records(records)
+        assert flat == [{"id": "p00000", "w": 1.0, "delay": 2.0}]
+
+    def test_load_points_round_trip(self, tmp_path):
+        from repro.dse.runner import SweepRunner
+        from repro.dse.space import Axis, SweepSpec
+        spec = SweepSpec(name="t", design="glass_25d", evaluator="link",
+                         axes=(Axis("min_wire_width_um",
+                                    values=(1.0, 2.0)),))
+        runner = SweepRunner(spec, out_dir=tmp_path / "s")
+        records = runner.run()
+        assert load_points(runner.points_path) == records

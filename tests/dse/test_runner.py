@@ -1,0 +1,144 @@
+"""Sweep runner tests: result store, resume identity, failure rows."""
+
+import json
+
+import pytest
+
+from repro.dse.analyze import failures, successes
+from repro.dse.runner import SweepRunner, run_sweep
+from repro.dse.space import Axis, SweepSpec
+from repro.tech.interposer import GLASS_25D
+
+#: A cheap six-point link sweep (sub-second per point, no flow stages).
+CHEAP = SweepSpec(
+    name="cheap-link", design="glass_25d", evaluator="link",
+    sampler="grid", length_um=1000.0,
+    axes=(Axis("min_wire_width_um", values=(1.0, 2.0, 4.0),
+               tied=("min_wire_space_um",)),
+          Axis("dielectric_thickness_um", values=(10.0, 25.0))))
+
+
+class TestInMemory:
+    def test_records_ordered_and_complete(self):
+        records = run_sweep(CHEAP)
+        assert [r["index"] for r in records] == list(range(6))
+        assert [r["id"] for r in records] \
+            == [CHEAP.point_id(i) for i in range(6)]
+        for r in records:
+            assert r["error"] is None
+            assert set(r["metrics"]) >= {"delay_ps", "power_uw",
+                                         "r_ohm_per_mm"}
+
+    def test_tied_axis_applied(self):
+        # Wider wire + tied spacing: resistance must drop monotonically.
+        records = run_sweep(CHEAP)
+        r_by_width = {r["params"]["min_wire_width_um"]:
+                      r["metrics"]["r_ohm_per_mm"]
+                      for r in records
+                      if r["params"]["dielectric_thickness_um"] == 10.0}
+        assert r_by_width[1.0] > r_by_width[2.0] > r_by_width[4.0]
+
+    def test_unregistered_base_spec(self):
+        import dataclasses
+        base = dataclasses.replace(GLASS_25D, name="custom_glass",
+                                   metal_thickness_um=6.0)
+        spec = SweepSpec(
+            name="custom", design="custom_glass", evaluator="link",
+            axes=(Axis("min_wire_width_um", values=(2.0,)),))
+        records = run_sweep(spec, base_spec=base)
+        assert records[0]["error"] is None
+
+
+class TestResultStore:
+    def test_store_files_written(self, tmp_path):
+        runner = SweepRunner(CHEAP, out_dir=tmp_path / "s")
+        records = runner.run()
+        assert len(records) == 6
+        manifest = json.loads(runner.manifest_path.read_text())
+        assert manifest["spec_hash"] == CHEAP.spec_hash()
+        assert manifest["total_points"] == 6
+        lines = runner.points_path.read_text().splitlines()
+        assert len(lines) == 6
+        assert json.loads(lines[0])["id"] == "p00000"
+        timings = [json.loads(l) for l in
+                   runner.timings_path.read_text().splitlines()]
+        assert len(timings) == 6
+        assert all(t["wall_s"] >= 0 for t in timings)
+
+    def test_fresh_run_restarts_store(self, tmp_path):
+        out = tmp_path / "s"
+        SweepRunner(CHEAP, out_dir=out).run()
+        SweepRunner(CHEAP, out_dir=out).run()  # no resume: restart
+        assert len((out / "points.jsonl").read_text().splitlines()) == 6
+
+    def test_resume_is_byte_identical_to_uninterrupted(self, tmp_path):
+        """The acceptance property: kill mid-sweep, resume, and the
+        store matches an uninterrupted run byte for byte."""
+        full = SweepRunner(CHEAP, out_dir=tmp_path / "full")
+        full.run()
+        split = SweepRunner(CHEAP, out_dir=tmp_path / "split")
+        split.run(limit=3)  # simulate a killed sweep
+        assert len(split.points_path.read_text().splitlines()) == 3
+        resumed = SweepRunner(CHEAP, out_dir=tmp_path / "split")
+        records = resumed.run(resume=True)
+        assert len(records) == 6
+        assert split.points_path.read_bytes() \
+            == full.points_path.read_bytes()
+        assert split.manifest_path.read_bytes() \
+            == full.manifest_path.read_bytes()
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        runner = SweepRunner(CHEAP, out_dir=tmp_path / "s")
+        runner.run()
+        timings_before = runner.timings_path.read_text()
+        SweepRunner(CHEAP, out_dir=tmp_path / "s").run(resume=True)
+        # Nothing recomputed: no timing rows were appended.
+        assert runner.timings_path.read_text() == timings_before
+
+    def test_resume_rejects_spec_mismatch(self, tmp_path):
+        out = tmp_path / "s"
+        SweepRunner(CHEAP, out_dir=out).run(limit=2)
+        other = SweepSpec(
+            name="cheap-link", design="glass_25d", evaluator="link",
+            axes=(Axis("min_wire_width_um", values=(1.0, 3.0)),))
+        with pytest.raises(ValueError, match="different spec"):
+            SweepRunner(other, out_dir=out).run(resume=True)
+
+    def test_parallel_store_matches_serial(self, tmp_path):
+        serial = SweepRunner(CHEAP, out_dir=tmp_path / "serial")
+        serial.run()
+        parallel = SweepRunner(CHEAP, out_dir=tmp_path / "par", jobs=2)
+        parallel.run()
+        assert parallel.points_path.read_bytes() \
+            == serial.points_path.read_bytes()
+
+
+class TestFailureRows:
+    #: Middle point is invalid (negative width fails spec validation).
+    FAILING = SweepSpec(
+        name="failing", design="glass_25d", evaluator="link",
+        axes=(Axis("min_wire_width_um", values=(2.0, -1.0, 4.0)),))
+
+    def test_failure_recorded_sweep_continues(self, tmp_path):
+        runner = SweepRunner(self.FAILING, out_dir=tmp_path / "s")
+        records = runner.run()
+        assert len(records) == 3
+        assert len(successes(records)) == 2
+        bad = failures(records)
+        assert len(bad) == 1
+        assert bad[0]["params"]["min_wire_width_um"] == -1.0
+        assert bad[0]["error"]["type"] == "ValueError"
+        assert bad[0]["metrics"] is None
+        # The traceback went to the error log, not the store.
+        assert "Traceback" in runner.errors_path.read_text()
+        assert "Traceback" not in runner.points_path.read_text()
+
+    def test_flow_evaluator_failure_is_structured(self):
+        # Invalid override reaches the flow task layer and comes back
+        # as a structured row, not an exception.
+        spec = SweepSpec(
+            name="flow-fail", design="glass_3d", evaluator="flow",
+            scale=0.01, axes=(Axis("microbump_pitch_um",
+                                   values=(-5.0,)),))
+        records = run_sweep(spec)
+        assert records[0]["error"]["type"] == "ValueError"
