@@ -303,9 +303,16 @@ class Netlist:
         partitioner uses to carve chiplets out of the flat design.
         """
         keep = set(instance_names)
+        missing = keep - self._instances.keys()
+        if missing:
+            raise KeyError(sorted(missing)[0])
         sub = Netlist(name or f"{self.name}_sub", self.library)
-        for iname in keep:
-            inst = self._instances[iname]
+        # Insert in parent-netlist order: iterating the ``keep`` set
+        # would make instance order — and order-sensitive downstream
+        # passes like FM bisection — vary with PYTHONHASHSEED.
+        for iname, inst in self._instances.items():
+            if iname not in keep:
+                continue
             sub.add_instance(inst.name, inst.cell_name, inst.module_path)
         for net in self._nets.values():
             driver_in = net.driver in keep if net.driver else False

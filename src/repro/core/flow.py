@@ -5,7 +5,8 @@ implementation (both kinds), interposer die placement and RDL routing,
 PDN construction, SI (worst-net channels + eye diagrams), PI (impedance
 profile, IR drop, regulator transient), thermal analysis, and the
 full-chip roll-up.  Results are cached per
-(design, scale, seed, with_eyes, with_thermal) since every stage is
+(design, scale, seed, target_frequency_mhz, with_eyes, with_thermal)
+since every stage is
 deterministic; :func:`run_designs` adds a multi-process fan-out and a
 persistent disk cache keyed additionally on a package-source hash.
 
@@ -164,8 +165,9 @@ def _apply_overrides(spec: InterposerSpec,
 
 
 #: Deterministic result cache:
-#: (name, overrides, scale, seed, with_eyes, with_thermal) → DesignResult.
-_CACHE: Dict[Tuple[str, OverridesKey, float, int, bool, bool],
+#: (name, overrides, scale, seed, target_frequency_mhz, with_eyes,
+#: with_thermal) → DesignResult.
+_CACHE: Dict[Tuple[str, OverridesKey, float, int, float, bool, bool],
              DesignResult] = {}
 
 
@@ -211,13 +213,14 @@ def flow_cache_dir() -> Optional[Path]:
     return Path(__file__).resolve().parents[3] / "results" / ".flow_cache"
 
 
-def _disk_key(name: str, scale: float, seed: int, with_eyes: bool,
+def _disk_key(name: str, scale: float, seed: int,
+              target_frequency_mhz: float, with_eyes: bool,
               with_thermal: bool, overrides: OverridesKey = ()) -> str:
     tag = ""
     if overrides:
         digest = hashlib.sha1(repr(overrides).encode()).hexdigest()[:10]
         tag = f"-o{digest}"
-    return (f"{name}-s{scale}-r{seed}"
+    return (f"{name}-s{scale}-r{seed}-f{target_frequency_mhz}"
             f"-e{int(with_eyes)}-t{int(with_thermal)}{tag}-{code_version()}")
 
 
@@ -317,12 +320,14 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         A fully populated :class:`DesignResult`.
     """
     overrides = _overrides_key(spec_overrides)
-    key = (name, overrides, scale, seed, with_eyes, with_thermal)
+    key = (name, overrides, scale, seed, target_frequency_mhz,
+           with_eyes, with_thermal)
     if use_cache:
         hit = _CACHE.get(key)
         if hit is None and not (with_eyes and with_thermal):
             # A full run supersedes any partial request at the same point.
-            hit = _CACHE.get((name, overrides, scale, seed, True, True))
+            hit = _CACHE.get((name, overrides, scale, seed,
+                              target_frequency_mhz, True, True))
         if hit is not None:
             return hit
     stage_times: Dict[str, float] = {}
@@ -434,10 +439,12 @@ class FlowTaskSpec:
         canonical = tuple(sorted(tuple(self.spec_overrides)))
         object.__setattr__(self, "spec_overrides", canonical)
 
-    def cache_key(self) -> Tuple[str, OverridesKey, float, int, bool, bool]:
+    def cache_key(self) -> Tuple[str, OverridesKey, float, int, float,
+                                 bool, bool]:
         """The in-process cache key this task resolves to."""
         return (self.design, self.spec_overrides, self.scale, self.seed,
-                self.with_eyes, self.with_thermal)
+                self.target_frequency_mhz, self.with_eyes,
+                self.with_thermal)
 
 
 @dataclass
@@ -484,10 +491,12 @@ def run_flow_task(task: FlowTaskSpec,
             hit = _CACHE.get(task.cache_key())
             if hit is None and not (task.with_eyes and task.with_thermal):
                 hit = _CACHE.get((task.design, task.spec_overrides,
-                                  task.scale, task.seed, True, True))
+                                  task.scale, task.seed,
+                                  task.target_frequency_mhz, True, True))
             if hit is None:
                 hit = _disk_load(_disk_key(
-                    task.design, task.scale, task.seed, task.with_eyes,
+                    task.design, task.scale, task.seed,
+                    task.target_frequency_mhz, task.with_eyes,
                     task.with_thermal, task.spec_overrides))
                 if hit is not None:
                     _CACHE[task.cache_key()] = hit
@@ -503,6 +512,7 @@ def run_flow_task(task: FlowTaskSpec,
             spec_overrides=dict(task.spec_overrides) or None)
         if use_cache:
             _disk_store(_disk_key(task.design, task.scale, task.seed,
+                                  task.target_frequency_mhz,
                                   task.with_eyes, task.with_thermal,
                                   task.spec_overrides), result)
         return FlowTaskResult(task=task, result=result,
@@ -588,13 +598,16 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
     misses: List[str] = []
     for n in ordered:
         if use_cache:
-            mem_key = (n, (), scale, seed, with_eyes, with_thermal)
+            mem_key = (n, (), scale, seed, target_frequency_mhz,
+                       with_eyes, with_thermal)
             hit = _CACHE.get(mem_key)
             if hit is None and not (with_eyes and with_thermal):
-                hit = _CACHE.get((n, (), scale, seed, True, True))
+                hit = _CACHE.get((n, (), scale, seed,
+                                  target_frequency_mhz, True, True))
             if hit is None:
-                hit = _disk_load(_disk_key(n, scale, seed, with_eyes,
-                                           with_thermal))
+                hit = _disk_load(_disk_key(n, scale, seed,
+                                           target_frequency_mhz,
+                                           with_eyes, with_thermal))
                 if hit is not None:
                     _CACHE[mem_key] = hit
             if hit is not None:
@@ -620,12 +633,14 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
                 continue
             results[n] = out.result
             if use_cache:
-                _CACHE[(n, (), scale, seed, with_eyes,
-                        with_thermal)] = out.result
+                _CACHE[(n, (), scale, seed, target_frequency_mhz,
+                        with_eyes, with_thermal)] = out.result
                 # Worker processes persist to disk themselves; store again
                 # here so serial in-process runs are covered too.
-                _disk_store(_disk_key(n, scale, seed, with_eyes,
-                                      with_thermal), out.result)
+                _disk_store(_disk_key(n, scale, seed,
+                                      target_frequency_mhz,
+                                      with_eyes, with_thermal),
+                            out.result)
 
     if failures:
         raise FlowBatchError(failures, results)

@@ -117,7 +117,7 @@ def elasticity(v0: float, v1: float, m0: float, m1: float) -> float:
     """Normalized endpoint sensitivity d(metric)/d(param) x (param/metric)
     — the same dimensionless elasticity ``SweepResult.sensitivity``
     reports."""
-    if v1 == v0 or m0 == 0:
+    if v1 == v0 or v0 == 0 or m0 == 0:
         return 0.0
     return ((m1 - m0) / m0) / ((v1 - v0) / v0)
 

@@ -138,7 +138,10 @@ def _evaluate_flow(sweep: SweepSpec,
     if not out.ok:
         raise PointEvaluationError(out.error_type, out.error_message,
                                    out.error_traceback)
-    return dict(flow_metrics(out.result), design=task.design)
+    # _cached is runner bookkeeping (timings.jsonl), not a metric; the
+    # runner pops it so it never reaches the deterministic point store.
+    return dict(flow_metrics(out.result), design=task.design,
+                _cached=out.cached)
 
 
 def _geometry(spec: InterposerSpec) -> Dict[str, object]:

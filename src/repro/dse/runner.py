@@ -65,11 +65,15 @@ def _sanitize(value: object) -> object:
 
 def _evaluate_task(args: Tuple[SweepSpec, Optional[InterposerSpec], int,
                                Dict[str, object]]
-                   ) -> Tuple[Dict[str, object], float, Optional[str]]:
+                   ) -> Tuple[Dict[str, object], float, bool,
+                              Optional[str]]:
     """Worker entry: evaluate one point, never raise.
 
-    Returns ``(record, wall_s, traceback_text)``; the record is the
-    deterministic row destined for ``points.jsonl``.
+    Returns ``(record, wall_s, cached, traceback_text)``; the record is
+    the deterministic row destined for ``points.jsonl``, while
+    ``cached`` (whether the flow evaluator was served from the flow
+    result cache) feeds ``timings.jsonl`` only — cache hits vary run to
+    run, so they must stay out of the byte-stable store.
     """
     sweep, base_spec, index, params = args
     record: Dict[str, object] = {
@@ -81,8 +85,10 @@ def _evaluate_task(args: Tuple[SweepSpec, Optional[InterposerSpec], int,
     }
     t0 = time.perf_counter()
     tb: Optional[str] = None
+    cached = False
     try:
         metrics = evaluate_point(sweep, params, base_spec)
+        cached = bool(metrics.pop("_cached", False))
         record["metrics"] = {k: _sanitize(v) for k, v in metrics.items()}
     except PointEvaluationError as exc:
         record["error"] = {"type": exc.error_type,
@@ -92,7 +98,7 @@ def _evaluate_task(args: Tuple[SweepSpec, Optional[InterposerSpec], int,
         record["error"] = {"type": type(exc).__name__,
                            "message": str(exc)}
         tb = traceback_module.format_exc()
-    return record, time.perf_counter() - t0, tb
+    return record, time.perf_counter() - t0, cached, tb
 
 
 class SweepRunner:
@@ -250,7 +256,8 @@ class SweepRunner:
                 points_fh = open(self.points_path, "a")
                 timings_fh = open(self.timings_path, "a")
             try:
-                for (index, _), (record, wall_s, tb) in zip(todo, outcomes):
+                for (index, _), (record, wall_s, cached, tb) \
+                        in zip(todo, outcomes):
                     records.append(record)
                     if points_fh is not None:
                         points_fh.write(_canonical_line(record))
@@ -258,7 +265,7 @@ class SweepRunner:
                         timings_fh.write(_canonical_line({
                             "id": record["id"],
                             "wall_s": round(wall_s, 4),
-                            "cached": False,
+                            "cached": cached,
                         }))
                         timings_fh.flush()
                         if tb:

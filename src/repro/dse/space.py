@@ -89,6 +89,10 @@ class Axis:
                 f"InterposerSpec field")
         if self.name in PROTECTED_SPEC_FIELDS:
             raise ValueError(f"axis {self.name!r} targets a protected field")
+        if self.tied and self.name in FLOW_AXIS_PARAMS:
+            raise ValueError(
+                f"axis {self.name!r}: tied fields only apply to "
+                f"InterposerSpec-field axes, not flow parameters")
         for t in self.tied:
             if not _is_spec_field(t) or t in PROTECTED_SPEC_FIELDS:
                 raise ValueError(f"axis {self.name!r}: bad tied field {t!r}")

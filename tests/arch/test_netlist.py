@@ -131,3 +131,14 @@ class TestSubset:
     def test_subset_instance_attrs_survive(self, small):
         sub = small.subset(["a"])
         assert sub.instance("a").module_path == "top/m1"
+
+    def test_subset_preserves_parent_instance_order(self, small):
+        # Instance order must come from the parent netlist, not the
+        # caller's iterable (or any hash-ordered set of it) — FM
+        # bisection results depend on it.
+        sub = small.subset(["c", "a", "b"])
+        assert list(sub.instances) == ["a", "b", "c"]
+
+    def test_subset_unknown_instance_rejected(self, small):
+        with pytest.raises(KeyError):
+            small.subset(["a", "nope"])

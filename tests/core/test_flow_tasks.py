@@ -68,6 +68,41 @@ class TestRunFlowTask:
         assert a.cache_key() == b.cache_key()
 
 
+class TestFrequencyKeysCaches:
+    """target_frequency_mhz changes results, so it must key every
+    cache layer — a frequency sweep must never be served stale hits."""
+
+    def test_cache_key_includes_frequency(self):
+        assert cheap_task().cache_key() \
+            != cheap_task(target_frequency_mhz=900.0).cache_key()
+
+    def test_frequency_misses_memory_cache(self):
+        base = run_flow_task(cheap_task())
+        fast = run_flow_task(cheap_task(target_frequency_mhz=900.0))
+        assert fast.ok and not fast.cached
+        assert fast.result.fullchip.total_power_mw \
+            != base.result.fullchip.total_power_mw
+
+    def test_frequency_misses_disk_cache(self):
+        run_flow_task(cheap_task())
+        clear_cache()
+        fast = run_flow_task(cheap_task(target_frequency_mhz=900.0))
+        assert fast.ok and not fast.cached
+        # The same frequency *is* served from disk.
+        clear_cache()
+        again = run_flow_task(cheap_task(target_frequency_mhz=900.0))
+        assert again.ok and again.cached
+
+    def test_run_designs_frequency_not_stale(self):
+        slow = run_designs(["silicon_3d"], scale=SCALE, seed=SEED,
+                           with_eyes=False, with_thermal=False)
+        fast = run_designs(["silicon_3d"], scale=SCALE, seed=SEED,
+                           target_frequency_mhz=900.0,
+                           with_eyes=False, with_thermal=False)
+        assert fast["silicon_3d"].fullchip.total_power_mw \
+            != slow["silicon_3d"].fullchip.total_power_mw
+
+
 class TestSpecOverrides:
     def test_override_changes_spec_and_result(self):
         base = run_design("silicon_3d", scale=SCALE, seed=SEED,

@@ -100,6 +100,7 @@ class TestSensitivity:
     def test_elasticity_guards(self):
         assert elasticity(2.0, 2.0, 1.0, 5.0) == 0.0
         assert elasticity(1.0, 2.0, 0.0, 5.0) == 0.0
+        assert elasticity(0.0, 2.0, 1.0, 5.0) == 0.0  # axis lo == 0
 
     def test_axis_sensitivity_groups_other_axes(self):
         # metric = p * q: elasticity to p is exactly 1 in every q-slice.

@@ -142,3 +142,43 @@ class TestFailureRows:
                                    values=(-5.0,)),))
         records = run_sweep(spec)
         assert records[0]["error"]["type"] == "ValueError"
+
+
+class TestFlowCacheInteraction:
+    #: Two-point frequency sweep of the cheapest design (no routing).
+    FREQ = SweepSpec(
+        name="freq", design="silicon_3d", evaluator="flow",
+        scale=0.01, seed=7,
+        axes=(Axis("target_frequency_mhz", values=(650.0, 700.0)),))
+
+    @pytest.fixture(autouse=True)
+    def isolated_flow_cache(self, tmp_path, monkeypatch):
+        from repro.core.flow import clear_cache
+        monkeypatch.setenv("REPRO_FLOW_CACHE", str(tmp_path / "fc"))
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_frequency_axis_not_served_stale(self, tmp_path):
+        """Distinct frequencies must produce distinct metrics — the
+        flow cache may not collapse the sweep onto its first point."""
+        runner = SweepRunner(self.FREQ, out_dir=tmp_path / "s")
+        records = runner.run()
+        powers = {r["params"]["target_frequency_mhz"]:
+                  r["metrics"]["power_mw"] for r in records}
+        assert powers[650.0] != powers[700.0]
+
+    def test_timings_record_flow_cache_hits(self, tmp_path):
+        cold = SweepRunner(self.FREQ, out_dir=tmp_path / "cold")
+        cold.run()
+        cold_timings = [json.loads(l) for l in
+                        cold.timings_path.read_text().splitlines()]
+        assert all(not t["cached"] for t in cold_timings)
+        warm = SweepRunner(self.FREQ, out_dir=tmp_path / "warm")
+        warm.run()
+        warm_timings = [json.loads(l) for l in
+                        warm.timings_path.read_text().splitlines()]
+        assert all(t["cached"] for t in warm_timings)
+        # Cache state changes timings.jsonl only, never the store.
+        assert warm.points_path.read_bytes() \
+            == cold.points_path.read_bytes()

@@ -72,6 +72,13 @@ class TestAxis:
             Axis("min_wire_width_um", values=(1.0,),
                  tied=("nope",)).validate()
 
+    def test_tied_on_flow_parameter_rejected(self):
+        # split_params only expands tied fields for spec-field axes;
+        # declaring them on a flow axis would silently drop them.
+        with pytest.raises(ValueError, match="flow parameters"):
+            Axis("scale", values=(0.02,),
+                 tied=("min_wire_width_um",)).validate()
+
 
 class TestGridPoints:
     def test_cartesian_product_in_axis_order(self):
