@@ -1,10 +1,13 @@
 """Quick performance smoke checks (``pytest -m perf_smoke benchmarks/perf``).
 
-Two jobs:
+Three jobs:
 
 * Run one small-scale design point end to end and dump its per-stage
-  wall times to ``results/BENCH_flow.json`` so stage-level regressions
-  show up in review diffs.
+  wall times (plus the router's phase stats) to
+  ``results/BENCH_flow.json`` so stage-level regressions show up in
+  review diffs.
+* Gate the interposer routing stage against the recorded
+  ``flow_routing_s`` baseline (fail past ``REGRESSION_FACTOR``).
 * Time the transient engine on a fixed PDN-style circuit and fail if it
   runs more than ``REGRESSION_FACTOR`` slower than the recorded baseline
   in ``baseline.json``.  Re-record with ``REPRO_PERF_REBASE=1`` after an
@@ -62,12 +65,27 @@ def _time_simulate() -> float:
     return best
 
 
-def test_flow_stage_times_recorded():
-    """One small design end to end; per-stage times go to results/."""
+@pytest.fixture(scope="module")
+def flow_run():
+    """One small design end to end, shared by the flow-level checks."""
     clear_cache()
     t0 = time.perf_counter()
     result = run_design("glass_25d", scale=0.02, seed=7, use_cache=False)
     wall = time.perf_counter() - t0
+    return result, wall
+
+
+def _read_rebase_baseline():
+    baseline = {}
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+    return baseline
+
+
+def test_flow_stage_times_recorded(flow_run):
+    """Per-stage times (and router stats) go to results/."""
+    result, wall = flow_run
     assert result.stage_times is not None
     os.makedirs(RESULTS_DIR, exist_ok=True)
     updates = {
@@ -78,6 +96,8 @@ def test_flow_stage_times_recorded():
         "stage_times_s": {k: round(v, 3)
                           for k, v in result.stage_times.items()},
     }
+    if result.route is not None and result.route.stats is not None:
+        updates["router_stats"] = result.route.stats.as_dict()
     bench_path = os.path.join(RESULTS_DIR, "BENCH_flow.json")
     payload = {}
     if os.path.exists(bench_path):
@@ -87,10 +107,30 @@ def test_flow_stage_times_recorded():
     with open(bench_path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    # Sanity: the stage breakdown accounts for most of the wall time.
+    # Sanity: the whole-stage breakdown accounts for most of the wall
+    # time.  "stage/phase" sub-keys are drill-downs inside a stage, not
+    # extra stages, so they stay out of the sum.
     accounted = sum(v for k, v in result.stage_times.items()
-                    if k != "total")
+                    if k != "total" and "/" not in k)
     assert accounted <= result.stage_times["total"] * 1.05
+
+
+def test_routing_not_regressed(flow_run):
+    """Interposer routing must stay within 2x of the recorded baseline."""
+    result, _ = flow_run
+    elapsed = result.stage_times["routing"]
+    if os.environ.get("REPRO_PERF_REBASE") == "1" \
+            or "flow_routing_s" not in _read_rebase_baseline():
+        baseline = _read_rebase_baseline()
+        baseline["flow_routing_s"] = round(elapsed, 4)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        pytest.skip(f"baseline recorded: {elapsed:.4f}s")
+    baseline = _read_rebase_baseline()["flow_routing_s"]
+    assert elapsed <= baseline * REGRESSION_FACTOR, (
+        f"routing stage took {elapsed:.4f}s vs baseline {baseline:.4f}s "
+        f"(>{REGRESSION_FACTOR}x regression)")
 
 
 def test_simulate_not_regressed():

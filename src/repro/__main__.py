@@ -60,6 +60,11 @@ def run_main(argv) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for multi-design runs "
                              "(default 1 = serial)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each design's flow with cProfile; "
+                             "writes results/profile_<design>.pstats and "
+                             "a top-25 cumulative summary (forces serial, "
+                             "uncached runs)")
     args = parser.parse_args(argv)
 
     if args.design == "monolithic":
@@ -85,11 +90,15 @@ def run_main(argv) -> int:
                 f"unknown design {args.design!r}; valid: "
                 f"{', '.join(spec_names() + ['all', 'monolithic'])}")
     print(f"running {', '.join(names)} (scale={args.scale}, "
-          f"seed={args.seed}, jobs={args.jobs})...", file=sys.stderr)
-    results = run_designs(names, scale=args.scale, seed=args.seed,
-                          with_eyes=not args.no_eyes,
-                          with_thermal=not args.no_thermal,
-                          jobs=args.jobs)
+          f"seed={args.seed}, jobs={args.jobs}"
+          f"{', profiled' if args.profile else ''})...", file=sys.stderr)
+    if args.profile:
+        results = _run_profiled(names, args)
+    else:
+        results = run_designs(names, scale=args.scale, seed=args.seed,
+                              with_eyes=not args.no_eyes,
+                              with_thermal=not args.no_thermal,
+                              jobs=args.jobs)
     rows = []
     signoffs = {}
     for name in names:
@@ -108,6 +117,45 @@ def run_main(argv) -> int:
         for check, verdict, detail in rep.summary_rows():
             print(f"  {check:18s} {verdict:4s}  {detail}")
     return 0
+
+
+def _run_profiled(names, args):
+    """Run each design serially and uncached under cProfile.
+
+    Writes ``results/profile_<design>.pstats`` (loadable with
+    ``pstats``/snakeviz) and ``results/profile_<design>.txt`` (the
+    top-25 functions by cumulative time) per design, so hot-path hunts
+    don't need ad-hoc harnesses.
+    """
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    from .core.flow import run_design
+
+    os.makedirs("results", exist_ok=True)
+    results = {}
+    for name in names:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        results[name] = run_design(name, scale=args.scale,
+                                   seed=args.seed,
+                                   with_eyes=not args.no_eyes,
+                                   with_thermal=not args.no_thermal,
+                                   use_cache=False)
+        profiler.disable()
+        pstats_path = os.path.join("results", f"profile_{name}.pstats")
+        profiler.dump_stats(pstats_path)
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(25)
+        txt_path = os.path.join("results", f"profile_{name}.txt")
+        with open(txt_path, "w") as fh:
+            fh.write(buf.getvalue())
+        print(f"profile: {pstats_path} (+ top-25 summary {txt_path})",
+              file=sys.stderr)
+    return results
 
 
 def sweep_main(argv) -> int:

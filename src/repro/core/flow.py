@@ -355,6 +355,12 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
                                  logic.bump_plan.signal_positions(),
                                  memory.bump_plan.signal_positions())
         stage_times["routing"] = time.perf_counter() - t0
+        if route.stats is not None:
+            # Sub-keys ("stage/phase") break the routing stage down;
+            # they are excluded from whole-stage accounting sums.
+            stage_times["routing/pattern"] = route.stats.pattern_time_s
+            stage_times["routing/rrr"] = route.stats.rrr_time_s
+            stage_times["routing/maze"] = route.stats.maze_time_s
         t0 = time.perf_counter()
         pdn = build_pdn(placement)
         pdn_imp = analyze_pdn_impedance(pdn)

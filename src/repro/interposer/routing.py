@@ -18,19 +18,52 @@ Routing runs in two phases, the way production global routers do:
    up and rerouted with congestion-aware A* maze search, which finds the
    detours and higher-layer escapes that give Table IV its per-technology
    layer usage and wirelength character.
+
+Both phases are vectorized but bit-identical to their per-cell
+references, which stay available as ``path_cost_scalar``,
+``maze_route_scalar``, and ``route_interposer_scalar``:
+
+* Pattern candidates are scored from *segment arithmetic* (via-column
+  prefix sums + run sums over ``occupancy >= capacity``) without ever
+  materializing their cells; only the winning candidate is expanded.
+  Every edge/overflow cost on a Manhattan grid is an integer-valued
+  float, so the closed-form total equals the scalar left-to-right float
+  sum exactly.  Diagonal (organic) candidates involve sqrt(2) steps, so
+  their costs are replayed with ``np.add.accumulate`` over the exact
+  increment sequence of the scalar loop instead.
+* The rip-up maze search on Manhattan grids is solved as a *distance
+  field*: one scipy Dijkstra sweep over the A*-reweighted edge graph
+  (edge ``w' = w + h(v) - h(u)``, non-negative because the Manhattan
+  heuristic is consistent), restricted to a y-window + cost ``limit``
+  derived from the ripped net's old-path cost.  The A* path *and* its
+  expansion count are reconstructed exactly from the distance field
+  (see :class:`_DistanceFieldOracle`), so results — including node-budget
+  exhaustion — are bit-identical to the scalar A*.  Any anomaly falls
+  back to the scalar search.
 """
 
 from __future__ import annotations
 
 import heapq
+import logging
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+try:
+    from scipy.sparse import csr_array
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover — scipy ships with the package
+    _HAVE_SCIPY = False
+
 from ..tech.interposer import InterposerSpec, IntegrationStyle, RoutingStyle
 from .placement import InterposerPlacement, PlacedDie
+
+_LOG = logging.getLogger(__name__)
 
 #: Routing grid cell edge in microns.
 CELL_UM = 20.0
@@ -46,6 +79,63 @@ MAZE_NODE_BUDGET = 120000
 
 #: Maximum rip-up/reroute passes.
 RRR_ROUNDS = 2
+
+
+def _integer_costs() -> bool:
+    """Whether the cost constants are integer-valued (enables the
+    closed-form pattern scoring and the packed-int / distance-field maze
+    engines; all are gated at call time so tests may perturb them)."""
+    return VIA_COST == int(VIA_COST) and OVERFLOW_COST == int(OVERFLOW_COST)
+
+
+@dataclass
+class RouterStats:
+    """Observability counters for one :func:`route_interposer` run.
+
+    Attributes:
+        pattern_time_s: Wall time of the pattern-routing phase.
+        rrr_time_s: Wall time of the rip-up/reroute phase (includes
+            ``maze_time_s``).
+        maze_time_s: Wall time spent inside maze searches.
+        nets_pattern_routed: Nets routed in phase 1 (every lateral net).
+        nets_rerouted: Maze reroute attempts in phase 2 (a net ripped
+            up in both RRR rounds counts twice).
+        rrr_rounds: Rip-up/reroute rounds that found victims.
+        maze_calls: Maze searches issued (== ``nets_rerouted``).
+        maze_nodes: Total A* node expansions across maze searches (as
+            reported by the distance-field engine; scalar-engine calls
+            contribute 0).
+        maze_fallbacks: Reroutes whose maze search failed (node budget
+            exhausted or no path) so the net kept its overflowing
+            pattern route — previously swallowed silently.
+        overflow_cells: Cells still over capacity after the final round.
+    """
+
+    pattern_time_s: float = 0.0
+    rrr_time_s: float = 0.0
+    maze_time_s: float = 0.0
+    nets_pattern_routed: int = 0
+    nets_rerouted: int = 0
+    rrr_rounds: int = 0
+    maze_calls: int = 0
+    maze_nodes: int = 0
+    maze_fallbacks: int = 0
+    overflow_cells: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for JSON dumps (perf harness / BENCH_flow.json)."""
+        return {
+            "pattern_time_s": round(self.pattern_time_s, 4),
+            "rrr_time_s": round(self.rrr_time_s, 4),
+            "maze_time_s": round(self.maze_time_s, 4),
+            "nets_pattern_routed": self.nets_pattern_routed,
+            "nets_rerouted": self.nets_rerouted,
+            "rrr_rounds": self.rrr_rounds,
+            "maze_calls": self.maze_calls,
+            "maze_nodes": self.maze_nodes,
+            "maze_fallbacks": self.maze_fallbacks,
+            "overflow_cells": self.overflow_cells,
+        }
 
 
 @dataclass
@@ -81,12 +171,15 @@ class InterposerRoute:
         signal_layers_used: Distinct signal layers carrying wires.
         overflow_cells: Cells where demand still exceeds capacity after
             rip-up/reroute (small residuals model local track sharing).
+        stats: Phase timing / search counters (:class:`RouterStats`);
+            ``None`` for results produced by the scalar reference.
     """
 
     placement: InterposerPlacement
     nets: List[RoutedNet]
     signal_layers_used: int
     overflow_cells: int
+    stats: Optional[RouterStats] = None
 
     def routed_nets(self) -> List[RoutedNet]:
         """Nets with actual lateral routing (excludes stacked vias)."""
@@ -160,6 +253,7 @@ class RoutingGrid:
         self.capacity = np.full((layers, self.ny, self.nx), base_cap,
                                 dtype=np.int32)
         self.occupancy = np.zeros_like(self.capacity)
+        self._oracle: Optional[_DistanceFieldOracle] = None
 
     # ------------------------------------------------------------------ #
     # Setup.
@@ -218,8 +312,46 @@ class RoutingGrid:
         return bool((self.occupancy[li, yi, xi]
                      > self.capacity[li, yi, xi]).any())
 
+    # ------------------------------------------------------------------ #
+    # Path cost.
+    # ------------------------------------------------------------------ #
+
     def path_cost(self, path: Sequence[Tuple[int, int, int]]) -> float:
         """Cost of a candidate path against current occupancy.
+
+        Vectorized, but bit-identical to :meth:`path_cost_scalar`: the
+        per-cell increments (step/via, then overflow penalty) are laid
+        out in the scalar loop's order and reduced with
+        ``np.add.accumulate``, whose strictly left-to-right evaluation
+        reproduces every intermediate rounding of the Python loop.
+        """
+        arr = np.asarray(path, dtype=np.intp)
+        return self._path_cost_arrays(arr[:, 0], arr[:, 1], arr[:, 2])
+
+    def _path_cost_arrays(self, li: np.ndarray, yi: np.ndarray,
+                          xi: np.ndarray) -> float:
+        """:meth:`path_cost` on pre-split index arrays."""
+        over = (self.occupancy[li, yi, xi]
+                >= self.capacity[li, yi, xi])
+        n = len(li)
+        if n == 1:
+            return OVERFLOW_COST if over[0] else 0.0
+        via = np.diff(li) != 0
+        diag = (np.diff(yi) != 0) & (np.diff(xi) != 0)
+        steps = np.where(via, VIA_COST,
+                         np.where(diag, math.sqrt(2.0), 1.0))
+        # Scalar order per cell k>=1: += step_k, += overflow_k.  The
+        # overflow slots of clean cells add 0.0, which is exact, so the
+        # accumulate replay keeps every partial sum bit-identical.
+        inc = np.empty(2 * n - 1)
+        inc[0] = OVERFLOW_COST if over[0] else 0.0
+        inc[1::2] = steps
+        inc[2::2] = np.where(over[1:], OVERFLOW_COST, 0.0)
+        return float(np.add.accumulate(inc)[-1])
+
+    def path_cost_scalar(self,
+                         path: Sequence[Tuple[int, int, int]]) -> float:
+        """Golden-reference per-cell cost loop (original implementation).
 
         The over-capacity flags are gathered in one vectorized read; the
         cost itself accumulates in path order with the same operations as
@@ -272,6 +404,109 @@ class RoutingGrid:
                                                False))
         return candidates
 
+    def pattern_cost_table(self, src: Tuple[int, int],
+                           dst: Tuple[int, int]) -> np.ndarray:
+        """Costs of every pattern candidate, in candidate order.
+
+        Segment-based: no candidate is materialized.  Entry ``i`` equals
+        ``path_cost_scalar(pattern_candidates(src, dst)[i])`` bit-exactly
+        (see :meth:`_pattern_costs_manhattan` /
+        :meth:`_line_path_arrays` for why).
+        """
+        sy, sx = src
+        ty, tx = dst
+        if not self.diagonal and _integer_costs():
+            return self._pattern_costs_manhattan(sy, sx, ty, tx)
+        if self.diagonal:
+            return np.array([
+                self._path_cost_arrays(*self._line_path_arrays(
+                    layer, sy, sx, ty, tx))
+                for layer in range(self.layers)])
+        # Non-integer cost constants on a Manhattan grid (tests only):
+        # score materialized candidates with the replay-exact cost.
+        return np.array([self.path_cost(c)
+                         for c in self.pattern_candidates(src, dst)])
+
+    def best_pattern_route(self, src: Tuple[int, int],
+                           dst: Tuple[int, int]
+                           ) -> Tuple[List[Tuple[int, int, int]], float]:
+        """Cheapest pattern candidate, materializing only the winner.
+
+        Ties keep the earliest candidate (``np.argmin`` returns the
+        first minimum), matching the scalar ``cost < best`` scan.
+        """
+        sy, sx = src
+        ty, tx = dst
+        costs = self.pattern_cost_table(src, dst)
+        best = int(np.argmin(costs))
+        if self.diagonal:
+            li, yi, xi = self._line_path_arrays(best, sy, sx, ty, tx)
+            path = list(zip(li.tolist(), yi.tolist(), xi.tolist()))
+        else:
+            v_layers = self.v_layers()
+            pair, h_first = divmod(best, 2)
+            hl = self.h_layers()[pair // len(v_layers)]
+            vl = v_layers[pair % len(v_layers)]
+            path = self._l_path(hl, vl, sy, sx, ty, tx, h_first == 0)
+        return path, float(costs[best])
+
+    def _pattern_costs_manhattan(self, sy: int, sx: int, ty: int,
+                                 tx: int) -> np.ndarray:
+        """Closed-form L-candidate costs from segment arithmetic.
+
+        An L-path is five segments — start via column, first run, corner
+        via column, second run, end via column — so its overflow count is
+        five sums over ``occupancy >= capacity``, taken from via-column
+        prefix sums and run sums along the two rows/columns candidates
+        can use.  Revisited cells (zero-length runs) are counted once
+        per segment, exactly as the scalar path enumeration does.  Steps,
+        vias, and overflow penalties are all integer-valued, so the
+        closed-form float total is bit-identical to the scalar sum.
+        """
+        occ, cap = self.occupancy, self.capacity
+        xlo, xhi = (sx, tx) if sx <= tx else (tx, sx)
+        ylo, yhi = (sy, ty) if sy <= ty else (ty, sy)
+        row_s = occ[:, sy, xlo:xhi + 1] >= cap[:, sy, xlo:xhi + 1]
+        row_t = occ[:, ty, xlo:xhi + 1] >= cap[:, ty, xlo:xhi + 1]
+        col_s = occ[:, ylo:yhi + 1, sx] >= cap[:, ylo:yhi + 1, sx]
+        col_t = occ[:, ylo:yhi + 1, tx] >= cap[:, ylo:yhi + 1, tx]
+        # Via-column prefixes: pv[l] = overflowing cells on layers < l.
+        zero = np.zeros(1, dtype=np.int64)
+        pv_s = np.concatenate((zero, np.cumsum(col_s[:, sy - ylo])))
+        pv_ct = np.concatenate((zero, np.cumsum(col_t[:, sy - ylo])))
+        pv_cs = np.concatenate((zero, np.cumsum(col_s[:, ty - ylo])))
+        pv_d = np.concatenate((zero, np.cumsum(col_t[:, ty - ylo])))
+        # Run sums exclude the run's start cell (the path enters on the
+        # cell after it), i.e. whole extent minus the source endpoint.
+        run_h_s = row_s.sum(axis=1) - row_s[:, sx - xlo]
+        run_h_t = row_t.sum(axis=1) - row_t[:, sx - xlo]
+        run_v_s = col_s.sum(axis=1) - col_s[:, sy - ylo]
+        run_v_t = col_t.sum(axis=1) - col_t[:, sy - ylo]
+
+        h_arr = np.asarray(self.h_layers(), dtype=np.int64)
+        v_arr = np.asarray(self.v_layers(), dtype=np.int64)
+        HL = np.repeat(h_arr, len(v_arr))
+        VL = np.tile(v_arr, len(h_arr))
+
+        def corner(pv: np.ndarray, frm: np.ndarray,
+                   to: np.ndarray) -> np.ndarray:
+            # Descend frm -> to: cells (frm..to], i.e. to inclusive,
+            # frm exclusive, in either direction.
+            return np.where(to > frm, pv[to + 1] - pv[frm + 1],
+                            np.where(to < frm, pv[frm] - pv[to], 0))
+
+        over_h = (pv_s[HL + 1] + run_h_s[HL] + corner(pv_ct, HL, VL)
+                  + run_v_t[VL] + pv_d[VL])
+        over_v = (pv_s[VL + 1] + run_v_s[VL] + corner(pv_cs, VL, HL)
+                  + run_h_t[HL] + pv_d[HL])
+        steps = abs(tx - sx) + abs(ty - sy)
+        vias = HL + np.abs(VL - HL) + VL
+        base = steps + int(VIA_COST) * vias
+        costs = np.empty(2 * len(HL), dtype=np.float64)
+        costs[0::2] = base + int(OVERFLOW_COST) * over_h
+        costs[1::2] = base + int(OVERFLOW_COST) * over_v
+        return costs
+
     def _l_path(self, hl: int, vl: int, sy: int, sx: int, ty: int, tx: int,
                 h_first: bool) -> List[Tuple[int, int, int]]:
         """L-shaped path: horizontal on ``hl``, vertical on ``vl``."""
@@ -323,6 +558,29 @@ class RoutingGrid:
             path.append((l, ty, tx))
         return path
 
+    def _line_path_arrays(self, layer: int, sy: int, sx: int, ty: int,
+                          tx: int
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`_line_path` as (layer, y, x) index arrays.
+
+        The 8-direction line steps diagonally while both coordinates
+        still differ, then straight: cell ``k`` sits at
+        ``s + sign * min(k, |delta|)`` per axis.
+        """
+        ady, adx = abs(ty - sy), abs(tx - sx)
+        n = max(ady, adx)
+        k = np.arange(1, n + 1)
+        ys = sy + ((ty > sy) - (ty < sy)) * np.minimum(k, ady)
+        xs = sx + ((tx > sx) - (tx < sx)) * np.minimum(k, adx)
+        li = np.concatenate((np.arange(0, layer + 1),
+                             np.full(n, layer, dtype=np.intp),
+                             np.arange(layer - 1, -1, -1)))
+        yi = np.concatenate((np.full(layer + 1, sy, dtype=np.intp), ys,
+                             np.full(layer, ty, dtype=np.intp)))
+        xi = np.concatenate((np.full(layer + 1, sx, dtype=np.intp), xs,
+                             np.full(layer, tx, dtype=np.intp)))
+        return li, yi, xi
+
     # ------------------------------------------------------------------ #
     # Phase 2: maze search.
     # ------------------------------------------------------------------ #
@@ -338,9 +596,46 @@ class RoutingGrid:
         return ((1, 0), (-1, 0))
 
     def maze_route(self, src: Tuple[int, int], dst: Tuple[int, int],
-                   max_nodes: int = MAZE_NODE_BUDGET
+                   max_nodes: int = MAZE_NODE_BUDGET,
+                   cost_ub: Optional[float] = None
                    ) -> Optional[List[Tuple[int, int, int]]]:
         """Congestion-aware A* from src to dst (both enter on layer 0).
+
+        On Manhattan grids with integer cost constants the search is
+        solved by the distance-field engine (:class:`_DistanceFieldOracle`),
+        windowed by ``cost_ub`` — a known upper bound on the optimal path
+        cost, e.g. the cost of the path the net held before rip-up.  The
+        result (path, or ``None`` on node-budget exhaustion) is
+        bit-identical to :meth:`maze_route_scalar`; diagonal grids and
+        any engine anomaly fall back to the scalar search.
+        """
+        path, _nodes, _engine = self._maze_route_info(src, dst, max_nodes,
+                                                      cost_ub)
+        return path
+
+    def _maze_route_info(self, src: Tuple[int, int], dst: Tuple[int, int],
+                         max_nodes: int,
+                         cost_ub: Optional[float] = None
+                         ) -> Tuple[Optional[List[Tuple[int, int, int]]],
+                                    int, str]:
+        """:meth:`maze_route` plus (node count, engine) for stats."""
+        if _HAVE_SCIPY and not self.diagonal and _integer_costs():
+            oracle = self._oracle
+            if oracle is None or not oracle.valid():
+                oracle = self._oracle = _DistanceFieldOracle(self)
+            try:
+                path, nodes = oracle.route(src, dst, max_nodes, cost_ub)
+                return path, nodes, "oracle"
+            except Exception:  # pragma: no cover — safety fallback
+                _LOG.exception("distance-field maze engine failed; "
+                               "falling back to scalar A*")
+        return self.maze_route_scalar(src, dst, max_nodes), 0, "scalar"
+
+    def maze_route_scalar(self, src: Tuple[int, int],
+                          dst: Tuple[int, int],
+                          max_nodes: int = MAZE_NODE_BUDGET
+                          ) -> Optional[List[Tuple[int, int, int]]]:
+        """Golden-reference A* (original heap-based implementation).
 
         States are flat grid indices ``(l * ny + y) * nx + x``.  Flat
         indices order exactly like ``(l, y, x)`` tuples, so the heap's
@@ -369,8 +664,7 @@ class RoutingGrid:
                   for dy, dx in self._layer_dirs(l)]
                  for l in range(self.layers)]
 
-        if (not diagonal and VIA_COST == int(VIA_COST)
-                and OVERFLOW_COST == int(OVERFLOW_COST)):
+        if not diagonal and _integer_costs():
             return self._maze_route_manhattan(start, goal, ty, tx, over,
                                               moves, max_nodes)
 
@@ -569,6 +863,284 @@ class RoutingGrid:
         return None
 
 
+class _DistanceFieldOracle:
+    """Maze A* solved as one Dijkstra distance field (Manhattan grids).
+
+    The scalar maze search is A* with a consistent heuristic and a
+    closed set: every pop finalizes a state at its true distance, pops
+    are ordered by the key ``(f, g, flat index)``, and ``prev`` links
+    record, for each state, the optimal parent that was finalized
+    earliest.  That makes the whole search a *function of the distance
+    field* ``D``:
+
+    * the returned path is reconstructed backwards from the goal by
+      picking, among parents ``p`` with ``D[p] + w(p, cur) == D[cur]``,
+      the one with the smallest pop key;
+    * the expansion count equals ``|{s : key(s) < key(goal)}| + 1``,
+      which reduces to ``|{f < F}| + |{f == F, g < F}| + 1`` because the
+      goal (layer 0) has the smallest flat index of its zero-heuristic
+      column — so node-budget exhaustion is predicted exactly.
+
+    ``D`` itself comes from scipy's C Dijkstra over the A*-reweighted
+    edge graph (``w' = w + h(v) - h(u)`` ≥ 0 by consistency), where it
+    returns ``Dp = D + h - h0``.  Per-call cost is kept near the size
+    of the A* search ellipse rather than the grid:
+
+    * the adjacency structure (CSR indices), base move weights, edge
+      endpoint coordinates, and the congestion term of every edge
+      weight are built once; rip-up/commit between calls only flips a
+      handful of over-capacity cells, so the congestion term is
+      patched through a CSC edge map instead of rebuilt;
+    * the heuristic shift ``h(v) - h(u)`` is Manhattan, so per edge it
+      is ``|xv-tx| - |xu-tx| + |yv-ty| - |yu-ty|`` over precomputed
+      int32 endpoint coordinates — no per-state heuristic field and no
+      edge gathers;
+    * ``limit = cost_ub - h0`` confines the sweep to the A* ellipse
+      ``f <= cost_ub``: with a valid upper bound on the optimal cost
+      (the ripped net's previous path), states beyond it can never be
+      popped before the goal, so they need no distances.  Because the
+      bound carries the old path's overflow penalties it is usually
+      loose, so the solve *iteratively deepens*: it first sweeps a
+      small ellipse (seeded by a running estimate of recent reroute
+      slacks) and only widens toward the full bound when the goal was
+      not finalized.  A goal finalized within ANY limit proves every
+      state with a smaller pop key was finalized exactly, so early
+      successes are exact; failures cost one extra (cheaper) Dijkstra
+      on the already-built graph.
+
+    If the goal is never finalized (bad bound, or ``cost_ub=None`` on
+    a disconnected pair) the final sweep runs without a limit, which
+    is exact unconditionally.
+    """
+
+    def __init__(self, grid: RoutingGrid):
+        self.grid = grid
+        self.via = int(VIA_COST)
+        self.over_cost = int(OVERFLOW_COST)
+        L, ny, nx = grid.layers, grid.ny, grid.nx
+        self.L, self.ny, self.nx = L, ny, nx
+        n = L * ny * nx
+        self.n = n
+        idx = np.arange(n, dtype=np.int64)
+        x = idx % nx
+        l = (idx // nx) % L
+        y = idx // (nx * L)
+        rows_l, cols_l, base_l = [], [], []
+        # Moves (dl, dy, dx, weight) per _layer_dirs: even layers route
+        # in x, odd in y, single-layer grids in both; vias both ways.
+        for dl, dy, dx, w in ((0, 0, 1, 1.0), (0, 0, -1, 1.0),
+                              (0, 1, 0, 1.0), (0, -1, 0, 1.0),
+                              (1, 0, 0, float(self.via)),
+                              (-1, 0, 0, float(self.via))):
+            if dl == 0:
+                if L == 1:
+                    ok = np.ones(n, dtype=bool)
+                elif dx != 0:
+                    ok = l % 2 == 0
+                else:
+                    ok = l % 2 == 1
+            else:
+                ok = (l + dl >= 0) & (l + dl < L)
+            ok &= ((y + dy >= 0) & (y + dy < ny)
+                   & (x + dx >= 0) & (x + dx < nx))
+            src = idx[ok]
+            rows_l.append(src)
+            cols_l.append(src + (dy * L + dl) * nx + dx)
+            base_l.append(np.full(len(src), w))
+        rows = np.concatenate(rows_l)
+        order = np.argsort(rows, kind="stable")
+        self.rows = rows[order]
+        self.cols = np.concatenate(cols_l)[order]
+        self.base = np.concatenate(base_l)[order]
+        self.indptr = np.searchsorted(self.rows, np.arange(n + 1))
+        self.indices32 = self.cols.astype(np.int32)
+        self.indptr32 = self.indptr.astype(np.int32)
+        # Edge endpoint coordinates for the O(1)-per-edge heuristic
+        # shift (via edges keep equal coords and shift by zero).
+        nxL = nx * L
+        self.xr = (self.rows % nx).astype(np.int32)
+        self.xc = (self.cols % nx).astype(np.int32)
+        self.yr = (self.rows // nxL).astype(np.int32)
+        self.yc = (self.cols // nxL).astype(np.int32)
+        # Congestion-dependent edge weights, patched incrementally as
+        # occupancy changes; CSC map finds the edges entering a cell.
+        csc = np.argsort(self.cols, kind="stable")
+        self.csc_order = csc
+        self.csc_indptr = np.searchsorted(self.cols[csc],
+                                          np.arange(n + 1))
+        self.over = self._over_now()
+        self.data_cong = (self.base
+                          + self.over_cost * self.over[self.cols])
+        # The solve graph is built once; route() rewrites self.G.data
+        # in place with this call's reweighted edge costs.
+        ne = len(self.cols)
+        self._data = np.empty(ne, dtype=np.float64)
+        self._ibuf_a = np.empty(ne, dtype=np.int32)
+        self._ibuf_b = np.empty(ne, dtype=np.int32)
+        self.G = csr_array((self._data, self.indices32, self.indptr32),
+                           shape=(n, n))
+        self._slack_ema = 96.0  # running reroute-slack estimate
+
+    def valid(self) -> bool:
+        """Whether the cached graph still matches the cost constants."""
+        return (self.via == int(VIA_COST)
+                and self.over_cost == int(OVERFLOW_COST))
+
+    def _over_now(self) -> np.ndarray:
+        """Over-capacity flags in (y, l, x) state order, read fresh."""
+        g = self.grid
+        return (g.occupancy >= g.capacity).transpose(1, 0, 2) \
+            .reshape(-1)
+
+    def _refresh_congestion(self) -> None:
+        """Patch edge weights for cells whose overflow flag flipped."""
+        over_now = self._over_now()
+        changed = over_now != self.over
+        if changed.any():
+            flips = np.nonzero(changed)[0]
+            lo = self.csc_indptr[flips]
+            hi = self.csc_indptr[flips + 1]
+            counts = hi - lo
+            total = int(counts.sum())
+            # Concatenated aranges [lo_i, hi_i) without a Python loop:
+            # hi_i - cumsum_i == lo_i - (elements emitted before i).
+            flat = np.repeat(hi - np.cumsum(counts), counts) \
+                + np.arange(total)
+            ids = self.csc_order[flat]
+            self.data_cong[ids] = (self.base[ids] + self.over_cost
+                                   * over_now[self.cols[ids]])
+            self.over = over_now
+
+    def route(self, src: Tuple[int, int], dst: Tuple[int, int],
+              max_nodes: int, cost_ub: Optional[float]
+              ) -> Tuple[Optional[List[Tuple[int, int, int]]], int]:
+        """Exact maze result: (path or None, A* expansion count)."""
+        sy, sx = src
+        ty, tx = dst
+        h0 = abs(sy - ty) + abs(sx - tx)
+        nx, L, n = self.nx, self.L, self.n
+        self._refresh_congestion()
+        # One reweighting per call: shift every edge by the Manhattan
+        # heuristic delta toward this call's target, written in place
+        # into the persistent graph's data array.  Deepening attempts
+        # below reuse it and only re-run the C Dijkstra.
+        a, b = self._ibuf_a, self._ibuf_b
+        np.subtract(self.xc, tx, out=a)
+        np.abs(a, out=a)
+        np.subtract(self.xr, tx, out=b)
+        np.abs(b, out=b)
+        a -= b
+        np.subtract(self.yc, ty, out=b)
+        np.abs(b, out=b)
+        a += b
+        np.subtract(self.yr, ty, out=b)
+        np.abs(b, out=b)
+        a -= b
+        np.add(self.data_cong, a, out=self._data)
+        G = self.G
+        start = (sy * L) * nx + sx
+        goal = (ty * L) * nx + tx
+        if cost_ub is not None:
+            lim = max(0.0, float(cost_ub) - h0)
+            attempt = min(lim, max(32.0, 1.2 * self._slack_ema))
+            while True:
+                Dp = _csgraph_dijkstra(G, directed=True, indices=start,
+                                       min_only=True, limit=attempt)
+                solved = self._finish(Dp, sy, sx, ty, tx, max_nodes)
+                if solved is not None:
+                    return solved
+                if attempt >= lim:
+                    # Bad bound (should not happen for a rippable
+                    # net): fall through to the unbounded solve.
+                    break
+                attempt = min(lim, attempt * 2.0)
+        Dp = _csgraph_dijkstra(G, directed=True, indices=start,
+                               min_only=True)
+        return self._finish(Dp, sy, sx, ty, tx, max_nodes) or (None, 0)
+
+    def _finish(self, Dp: np.ndarray, sy: int, sx: int, ty: int,
+                tx: int, max_nodes: int
+                ) -> Optional[Tuple[Optional[List[Tuple[int, int, int]]],
+                                    int]]:
+        """Count expansions and reconstruct; None if goal not reached."""
+        nx, L = self.nx, self.L
+        nxL = nx * L
+        goal = (ty * L) * nx + tx
+        s = Dp[goal]
+        if not np.isfinite(s):
+            return None
+        self._slack_ema += 0.125 * (float(s) - self._slack_ema)
+        # Expansions = finalized states popped up to and including the
+        # goal.  The goal's zero-heuristic column ((l, ty, tx) states)
+        # ties the goal key in f and g but never precedes it in index.
+        goal_col = Dp[ty * nxL + tx::nx][:L]
+        n_before = (int(np.count_nonzero(Dp < s))
+                    + int(np.count_nonzero(Dp == s))
+                    - int(np.count_nonzero(goal_col == s)))
+        expansions = n_before + 1
+        if expansions > max_nodes:
+            return None, expansions
+        return self._reconstruct(Dp, sy, sx, ty, tx), expansions
+
+    def _reconstruct(self, Dp: np.ndarray, sy: int, sx: int, ty: int,
+                     tx: int) -> List[Tuple[int, int, int]]:
+        """Walk the distance field backwards along scalar-A* prev links.
+
+        At each step the parent is the neighbor ``p`` with
+        ``D[p] + w(p, cur) == D[cur]`` (exact float compare — every
+        quantity is an integer-valued float) minimizing the pop key
+        ``(f, g, flat index)``; ``Dp = D + h - h0`` shifts f and g by
+        the same constant, leaving the order unchanged.
+        """
+        L, nx, ny = self.L, self.nx, self.ny
+        plane = ny * nx
+        nxL = nx * L
+        over = self.over
+        oc = float(self.over_cost)
+        via = float(self.via)
+        cur = (ty * L) * nx + tx
+        start = (sy * L) * nx + sx
+        cl, cy, cx = 0, ty, tx  # coordinates of cur
+        rev = [(0, ty, tx)]
+        while cur != start:
+            enter = oc if over[cur] else 0.0
+            w_lat = 1.0 + enter
+            w_via = via + enter
+            target = Dp[cur] - (abs(cy - ty) + abs(cx - tx))
+            cand = []
+            if L == 1 or cl % 2 == 0:
+                if cx > 0:
+                    cand.append((cur - 1, w_lat, cl, cy, cx - 1))
+                if cx < nx - 1:
+                    cand.append((cur + 1, w_lat, cl, cy, cx + 1))
+            if L == 1 or cl % 2 == 1:
+                if cy > 0:
+                    cand.append((cur - nxL, w_lat, cl, cy - 1, cx))
+                if cy < ny - 1:
+                    cand.append((cur + nxL, w_lat, cl, cy + 1, cx))
+            if cl > 0:
+                cand.append((cur - nx, w_via, cl - 1, cy, cx))
+            if cl < L - 1:
+                cand.append((cur + nx, w_via, cl + 1, cy, cx))
+            best_key = None
+            best = None
+            for p, w, pl, py, px in cand:
+                hp = abs(py - ty) + abs(px - tx)
+                if Dp[p] - hp + w == target:
+                    key = (Dp[p], Dp[p] - hp,
+                           pl * plane + py * nx + px)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = (p, pl, py, px)
+            if best is None:
+                raise RuntimeError("distance-field reconstruction found "
+                                   "no optimal parent")
+            cur, cl, cy, cx = best
+            rev.append((cl, cy, cx))
+        rev.reverse()
+        return rev
+
+
 def _die_escape_capacity(spec: InterposerSpec,
                          cell_um: float = CELL_UM) -> int:
     """Track capacity per cell per layer under a die (via-land blockage)."""
@@ -631,24 +1203,41 @@ def _path_to_net(name: str, kind: str, path: List[Tuple[int, int, int]],
                      vias=vias, layers=layers, path=path)
 
 
-def route_interposer(placement: InterposerPlacement,
+def _path_to_net_arrays(name: str, kind: str,
+                        path: List[Tuple[int, int, int]],
+                        li: np.ndarray, yi: np.ndarray, xi: np.ndarray,
+                        cell_um: float) -> RoutedNet:
+    """:func:`_path_to_net` from pre-split index arrays (bit-identical:
+    the lateral step lengths are re-accumulated left to right, and via
+    steps contribute exact 0.0 terms)."""
+    if len(li) == 1:
+        return RoutedNet(name=name, kind=kind, length_mm=0.0, vias=2,
+                         layers={int(li[0])}, path=path)
+    via = np.diff(li) != 0
+    diag = (np.diff(yi) != 0) & (np.diff(xi) != 0)
+    steps = np.where(via, 0.0, np.where(diag, math.sqrt(2.0), 1.0))
+    length_cells = float(np.add.accumulate(steps)[-1])
+    return RoutedNet(name=name, kind=kind,
+                     length_mm=length_cells * cell_um / 1000.0,
+                     vias=int(via.sum()) + 2,
+                     layers=set(np.unique(li).tolist()), path=path)
+
+
+def _manhattan_mm(job) -> float:
+    """Phase-1 ordering key: bump-to-bump Manhattan distance in mm."""
+    _, _, s, d = job
+    return abs(s[0] - d[0]) + abs(s[1] - d[1])
+
+
+def _routing_problem(placement: InterposerPlacement,
                      logic_bumps: List[Tuple[float, float]],
                      memory_bumps: List[Tuple[float, float]],
-                     l2m_signals: int = 231,
-                     l2l_signals: int = 68) -> InterposerRoute:
-    """Route all chiplet-to-chiplet nets on the interposer.
-
-    Args:
-        placement: Die arrangement (must not be a TSV stack).
-        logic_bumps: Die-local signal bump positions of the logic chiplet
-            (um), from its :class:`~repro.chiplet.bumps.BumpPlan`.
-        memory_bumps: Same for the memory chiplet.
-        l2m_signals: Logic-to-memory nets per tile (231 in the paper).
-        l2l_signals: Logic-to-logic nets between tiles (68 post-SerDes).
-
-    Returns:
-        An :class:`InterposerRoute` with per-net lengths/vias/layers.
-    """
+                     l2m_signals: int, l2l_signals: int
+                     ) -> Tuple[RoutingGrid, List[RoutedNet],
+                                List[Tuple[str, str, Tuple[float, float],
+                                           Tuple[float, float]]]]:
+    """Shared setup: the grid, pre-routed stacked vias, and the lateral
+    net list (name, kind, src_mm, dst_mm) both router variants consume."""
     spec = placement.spec
     if spec.style is IntegrationStyle.TSV_STACK:
         raise ValueError("silicon 3D has no interposer to route; use the "
@@ -701,19 +1290,145 @@ def route_interposer(placement: InterposerPlacement,
             for i, (s, d) in enumerate(_pair_sites(la, src_sites,
                                                    lb, dst_sites)):
                 todo.append((f"t{a}{b}_l2l_{i}", "l2l", s, d))
+    return grid, stacked, todo
+
+
+def route_interposer(placement: InterposerPlacement,
+                     logic_bumps: List[Tuple[float, float]],
+                     memory_bumps: List[Tuple[float, float]],
+                     l2m_signals: int = 231,
+                     l2l_signals: int = 68) -> InterposerRoute:
+    """Route all chiplet-to-chiplet nets on the interposer.
+
+    Vectorized front end of the router; produces nets, overflow, and
+    layer usage bit-identical to :func:`route_interposer_scalar`, plus a
+    :class:`RouterStats` phase breakdown on the result.
+
+    Args:
+        placement: Die arrangement (must not be a TSV stack).
+        logic_bumps: Die-local signal bump positions of the logic chiplet
+            (um), from its :class:`~repro.chiplet.bumps.BumpPlan`.
+        memory_bumps: Same for the memory chiplet.
+        l2m_signals: Logic-to-memory nets per tile (231 in the paper).
+        l2l_signals: Logic-to-logic nets between tiles (68 post-SerDes).
+
+    Returns:
+        An :class:`InterposerRoute` with per-net lengths/vias/layers.
+    """
+    grid, stacked, todo = _routing_problem(placement, logic_bumps,
+                                           memory_bumps, l2m_signals,
+                                           l2l_signals)
+    stats = RouterStats()
+    nx = grid.nx
+    plane = grid.ny * nx
+    occ_flat = grid.occupancy.reshape(-1)
+    cap_flat = grid.capacity.reshape(-1)
 
     # ---- phase 1: pattern route, shortest first ----------------------- #
-    def manhattan(job) -> float:
-        _, _, s, d = job
-        return abs(s[0] - d[0]) + abs(s[1] - d[1])
-
+    t0 = time.perf_counter()
     routed: Dict[str, RoutedNet] = {}
-    for name, kind, s_mm, d_mm in sorted(todo, key=manhattan):
+    # Per-net path index arrays, kept for incremental occupancy commits
+    # and the batched overflow scan of phase 2.
+    paths: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray,
+                           np.ndarray]] = {}
+    for name, kind, s_mm, d_mm in sorted(todo, key=_manhattan_mm):
+        src = grid.to_grid(*s_mm)
+        dst = grid.to_grid(*d_mm)
+        path, _cost = grid.best_pattern_route(src, dst)
+        arr = np.asarray(path, dtype=np.intp)
+        li, yi, xi = arr[:, 0], arr[:, 1], arr[:, 2]
+        flat = (li * plane + yi * nx) + xi
+        np.add.at(occ_flat, flat, 1)
+        routed[name] = _path_to_net_arrays(name, kind, path, li, yi, xi,
+                                           grid.cell_um)
+        paths[name] = (flat, li, yi, xi)
+    stats.nets_pattern_routed = len(routed)
+    stats.pattern_time_s = time.perf_counter() - t0
+
+    # ---- phase 2: rip-up and reroute overflowing nets ------------------ #
+    t0 = time.perf_counter()
+    for _round in range(RRR_ROUNDS if routed else 0):
+        # One batched gather over every routed cell replaces the
+        # per-net path_overflows scans: segment-reduce the strict
+        # overflow flags back to per-net "any" bits.
+        names = list(routed)
+        flats = [paths[nm][0] for nm in names]
+        offsets = np.zeros(len(flats), dtype=np.intp)
+        np.cumsum([f.size for f in flats[:-1]], out=offsets[1:])
+        all_idx = np.concatenate(flats)
+        over_any = np.add.reduceat(
+            occ_flat[all_idx] > cap_flat[all_idx], offsets)
+        victims = [routed[nm]
+                   for nm, hit in zip(names, over_any) if hit]
+        if not victims:
+            break
+        stats.rrr_rounds += 1
+        victims.sort(key=lambda n: -n.length_mm)
+        for net in victims:
+            flat, li, yi, xi = paths[net.name]
+            np.add.at(occ_flat, flat, -1)
+            src = (net.path[0][1], net.path[0][2])
+            dst = (net.path[-1][1], net.path[-1][2])
+            # The net's previous path still routes under the post-rip
+            # occupancy, so its cost bounds the optimal maze cost and
+            # windows the search.
+            cost_ub = grid._path_cost_arrays(li, yi, xi)
+            t_m = time.perf_counter()
+            path, nodes, _engine = grid._maze_route_info(
+                src, dst, MAZE_NODE_BUDGET, cost_ub)
+            stats.maze_time_s += time.perf_counter() - t_m
+            stats.maze_calls += 1
+            stats.nets_rerouted += 1
+            stats.maze_nodes += nodes
+            if path is None:
+                stats.maze_fallbacks += 1
+                path = net.path  # keep the pattern route
+            arr = np.asarray(path, dtype=np.intp)
+            li, yi, xi = arr[:, 0], arr[:, 1], arr[:, 2]
+            flat = (li * plane + yi * nx) + xi
+            np.add.at(occ_flat, flat, 1)
+            routed[net.name] = _path_to_net_arrays(
+                net.name, net.kind, path, li, yi, xi, grid.cell_um)
+            paths[net.name] = (flat, li, yi, xi)
+    stats.rrr_time_s = time.perf_counter() - t0
+    if stats.maze_fallbacks:
+        _LOG.warning(
+            "interposer %s: %d of %d maze reroutes failed (node budget "
+            "%d); those nets keep their overflowing pattern routes",
+            placement.spec.name, stats.maze_fallbacks, stats.maze_calls,
+            MAZE_NODE_BUDGET)
+
+    nets = stacked + list(routed.values())
+    layers_used: Set[int] = set()
+    for n in nets:
+        layers_used |= n.layers
+    stats.overflow_cells = grid.overflow_cells()
+    return InterposerRoute(placement=placement, nets=nets,
+                           signal_layers_used=len(layers_used),
+                           overflow_cells=stats.overflow_cells,
+                           stats=stats)
+
+
+def route_interposer_scalar(placement: InterposerPlacement,
+                            logic_bumps: List[Tuple[float, float]],
+                            memory_bumps: List[Tuple[float, float]],
+                            l2m_signals: int = 231,
+                            l2l_signals: int = 68) -> InterposerRoute:
+    """Golden-reference router: per-cell candidate scoring, per-net
+    overflow scans, and the scalar heap A* — the original
+    implementation, kept for the equivalence suite."""
+    grid, stacked, todo = _routing_problem(placement, logic_bumps,
+                                           memory_bumps, l2m_signals,
+                                           l2l_signals)
+
+    # ---- phase 1: pattern route, shortest first ----------------------- #
+    routed: Dict[str, RoutedNet] = {}
+    for name, kind, s_mm, d_mm in sorted(todo, key=_manhattan_mm):
         src = grid.to_grid(*s_mm)
         dst = grid.to_grid(*d_mm)
         best, best_cost = None, math.inf
         for cand in grid.pattern_candidates(src, dst):
-            c = grid.path_cost(cand)
+            c = grid.path_cost_scalar(cand)
             if c < best_cost:
                 best, best_cost = cand, c
         assert best is not None
@@ -731,7 +1446,7 @@ def route_interposer(placement: InterposerPlacement,
             grid.rip_up(net.path)
             src = (net.path[0][1], net.path[0][2])
             dst = (net.path[-1][1], net.path[-1][2])
-            path = grid.maze_route(src, dst)
+            path = grid.maze_route_scalar(src, dst, MAZE_NODE_BUDGET)
             if path is None:
                 path = net.path  # keep the pattern route
             grid.commit(path)

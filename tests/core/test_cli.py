@@ -38,6 +38,16 @@ class TestCli:
         assert rc == 0
         assert "silicon_3d" in capsys.readouterr().out
 
+    def test_profile_writes_dumps(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["glass_3d", "--scale", "0.015", "--no-eyes",
+                   "--no-thermal", "--profile"])
+        assert rc == 0
+        assert (tmp_path / "results" / "profile_glass_3d.pstats").exists()
+        summary = tmp_path / "results" / "profile_glass_3d.txt"
+        assert "cumulative" in summary.read_text()
+        assert "glass_3d" in capsys.readouterr().out
+
 
 SPACE_YAML = """\
 name: cli-smoke
