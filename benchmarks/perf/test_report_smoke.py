@@ -1,0 +1,84 @@
+"""Report-generation timing (``pytest -m report_smoke benchmarks/perf``).
+
+Builds the same six-point sweep store ``test_dse_smoke`` uses (flow
+cache left on — the store build is setup, not the thing measured),
+then times ``generate_report`` end to end: loading the store,
+computing the Pareto front and sensitivities, and rendering the
+Markdown + all SVG figures.  The best of three repetitions is recorded
+under ``dse_report_s`` in ``results/BENCH_flow.json`` and gated at
+``REGRESSION_FACTOR`` times the baseline in ``baseline.json``.
+Re-record with ``REPRO_PERF_REBASE=1`` after an intentional change.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.dse.report import generate_report
+from repro.dse.runner import SweepRunner
+
+from test_dse_smoke import SMOKE, _merge_json
+
+pytestmark = pytest.mark.report_smoke
+
+HERE = os.path.dirname(__file__)
+BASELINE_PATH = os.path.join(HERE, "baseline.json")
+RESULTS_DIR = os.path.join(HERE, os.pardir, os.pardir, "results")
+
+#: Fail when report generation runs more than this factor slower than
+#: the recorded baseline.
+REGRESSION_FACTOR = 2.0
+
+#: Absolute budget floor (seconds): rendering the six-point store is
+#: currently sub-millisecond, where a 2x relative gate would trip on
+#: scheduler noise alone.
+BUDGET_FLOOR_S = 0.05
+
+#: Repetitions; the minimum is recorded (rendering is deterministic,
+#: so the spread is scheduler noise only).
+REPS = 3
+
+
+def test_report_smoke(tmp_path):
+    """Render the six-point smoke store; best-of-3 within budget."""
+    store = tmp_path / "store"
+    records = SweepRunner(SMOKE, out_dir=store).run()
+    assert len(records) == 6
+
+    elapsed = min(_timed_render(store, tmp_path / f"out{i}")
+                  for i in range(REPS))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    _merge_json(os.path.join(RESULTS_DIR, "BENCH_flow.json"),
+                {"dse_report_s": round(elapsed, 4)})
+
+    if os.environ.get("REPRO_PERF_REBASE") == "1" \
+            or "dse_report_s" not in _baseline():
+        _merge_json(BASELINE_PATH, {"dse_report_s": round(elapsed, 4)})
+        pytest.skip(f"baseline recorded: {elapsed:.4f}s")
+    budget = max(_baseline()["dse_report_s"] * REGRESSION_FACTOR,
+                 BUDGET_FLOOR_S)
+    assert elapsed <= budget, (
+        f"report generation took {elapsed:.4f}s vs budget "
+        f"{budget:.4f}s (baseline x{REGRESSION_FACTOR})")
+
+
+def _timed_render(store, out_dir):
+    t0 = time.perf_counter()
+    result = generate_report(store, out_dir=out_dir)
+    elapsed = time.perf_counter() - t0
+    # The render must be complete, not merely fast.
+    assert result.report_path.exists()
+    assert {p.name for p in result.figures} \
+        >= {"fig_pareto.svg", "fig_sensitivity.svg"}
+    assert json.loads(result.summary_path.read_text())["front_size"] >= 1
+    return elapsed
+
+
+def _baseline():
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)

@@ -1,15 +1,20 @@
 """Command-line entry point.
 
-Two modes::
+Three modes::
 
     python -m repro [design] [--scale S] [--seed N] [...]   # run the flow
     python -m repro sweep --space FILE [--jobs N] [--resume]
+    python -m repro report --sweep DIR [--out DIR] [--png]
 
 The first runs the co-design flow for one design point (or all of them)
 and prints the paper-style summary tables; the second executes a
 declarative design-space sweep (see ``repro.dse`` and
-``examples/spaces/``).  Design names accept forgiving aliases
-(``glass-2.5d``, ``Glass_25D``, ...) via :func:`repro.tech.get_spec`.
+``examples/spaces/``) — a space file carrying a ``fidelity:`` block is
+run through the multi-fidelity ladder runner automatically; the third
+renders a completed sweep's result store into a Markdown report with
+SVG figures (``repro.dse.report``).  Design names accept forgiving
+aliases (``glass-2.5d``, ``Glass_25D``, ...) via
+:func:`repro.tech.get_spec`.
 """
 
 from __future__ import annotations
@@ -159,18 +164,27 @@ def _run_profiled(names, args):
 
 
 def sweep_main(argv) -> int:
-    """The design-space sweep mode (``python -m repro sweep ...``)."""
+    """The design-space sweep mode (``python -m repro sweep ...``).
+
+    A space file carrying a ``fidelity:`` block runs through
+    :class:`repro.dse.fidelity.MultiFidelityRunner` (evaluator ladder
+    with promotion); otherwise a plain :class:`repro.dse.SweepRunner`
+    sweep.  A missing or malformed space file exits with a one-line
+    ``error:`` message and status 2 — never a traceback.
+    """
     from .dse.analyze import (failures, flat_records, pareto_front,
                               sensitivity_summary)
+    from .dse.fidelity import MultiFidelityRunner, load_space
     from .dse.runner import SweepRunner
-    from .dse.space import SweepSpec
 
     parser = argparse.ArgumentParser(
         prog="python -m repro sweep",
         description="Run a declarative design-space sweep "
                     "(see examples/spaces/ for space files)")
     parser.add_argument("--space", required=True,
-                        help="sweep space definition (.yaml/.json)")
+                        help="sweep space definition (.yaml/.json); a "
+                             "'fidelity:' block enables the "
+                             "multi-fidelity ladder runner")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1 = serial)")
     parser.add_argument("--resume", action="store_true",
@@ -180,31 +194,61 @@ def sweep_main(argv) -> int:
                         help="result-store directory (default: "
                              "results/sweeps/<sweep name>)")
     parser.add_argument("--limit", type=int, default=None,
-                        help="stop after the store holds N points")
+                        help="stop after the store holds N points "
+                             "(multi-fidelity: N new evaluations)")
     args = parser.parse_args(argv)
 
     try:
-        spec = SweepSpec.from_file(args.space)
-        spec.validate()
-    except (OSError, ValueError, KeyError) as exc:
-        parser.error(f"bad space file {args.space!r}: {exc}")
+        spec, mf = load_space(args.space)
+        if mf is not None:
+            mf.validate()
+        else:
+            spec.validate()
+    except Exception as exc:  # noqa: BLE001 — one-line error by design
+        # YAML parse errors span lines; collapse to the promised one line.
+        reason = " ".join(str(exc).split())
+        print(f"error: bad space file {args.space!r}: {reason}",
+              file=sys.stderr)
+        return 2
 
-    runner = SweepRunner(spec, out_dir=args.out, jobs=args.jobs,
-                         progress=lambda line: print(line,
-                                                     file=sys.stderr))
+    progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
     total = len(spec.points())
-    print(f"sweep {spec.name}: {total} points "
-          f"({spec.sampler} over {', '.join(a.name for a in spec.axes)}), "
-          f"evaluator={spec.evaluator}, jobs={args.jobs}"
-          f"{', resume' if args.resume else ''}", file=sys.stderr)
-    t0 = time.perf_counter()
-    records = runner.run(resume=args.resume, limit=args.limit)
-    elapsed = time.perf_counter() - t0
+    if mf is not None:
+        ladder = " -> ".join([r.evaluator for r in mf.rungs]
+                             + [spec.evaluator])
+        print(f"multi-fidelity sweep {spec.name}: {total} points, "
+              f"ladder {ladder}, jobs={args.jobs}"
+              f"{', resume' if args.resume else ''}", file=sys.stderr)
+        runner = MultiFidelityRunner(mf, out_dir=args.out,
+                                     jobs=args.jobs, progress=progress)
+        t0 = time.perf_counter()
+        result = runner.run(resume=args.resume, limit=args.limit)
+        elapsed = time.perf_counter() - t0
+        records = result.records
+        print(f"ladder {'completed' if result.complete else 'STOPPED'} "
+              f"in {elapsed:.1f}s", file=sys.stderr)
+        for line in result.funnel_lines():
+            print(f"  {line}", file=sys.stderr)
+        print(f"result store: {runner.out_dir}", file=sys.stderr)
+        if not result.complete:
+            return 1
+    else:
+        runner = SweepRunner(spec, out_dir=args.out, jobs=args.jobs,
+                             progress=progress)
+        print(f"sweep {spec.name}: {total} points "
+              f"({spec.sampler} over "
+              f"{', '.join(a.name for a in spec.axes)}), "
+              f"evaluator={spec.evaluator}, jobs={args.jobs}"
+              f"{', resume' if args.resume else ''}", file=sys.stderr)
+        t0 = time.perf_counter()
+        records = runner.run(resume=args.resume, limit=args.limit)
+        elapsed = time.perf_counter() - t0
+        print(f"completed {len(records)}/{total} points "
+              f"({len(failures(records))} failed) in {elapsed:.1f}s",
+              file=sys.stderr)
+        print(f"result store: {runner.out_dir}", file=sys.stderr)
 
     failed = failures(records)
-    print(f"completed {len(records)}/{total} points "
-          f"({len(failed)} failed) in {elapsed:.1f}s", file=sys.stderr)
-    print(f"result store: {runner.out_dir}", file=sys.stderr)
     for record in failed:
         err = record["error"]
         print(f"  {record['id']} FAILED {err['type']}: {err['message']}",
@@ -248,11 +292,54 @@ def _fmt(value):
     return value
 
 
+def report_main(argv) -> int:
+    """The sweep-report mode (``python -m repro report ...``).
+
+    Renders a completed sweep result store — plain or multi-fidelity —
+    into ``report.md`` + deterministic SVG figures + ``report.json``
+    (see :mod:`repro.dse.report`).
+    """
+    from .dse.report import generate_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Render a completed sweep directory into a "
+                    "Markdown report with figures")
+    parser.add_argument("--sweep", required=True,
+                        help="sweep result-store directory "
+                             "(e.g. results/sweeps/<name>)")
+    parser.add_argument("--out", default=None,
+                        help="report output directory "
+                             "(default: <sweep>/report)")
+    parser.add_argument("--png", action="store_true",
+                        help="also write PNG figure companions "
+                             "(requires matplotlib; skipped with a "
+                             "notice when it is not installed)")
+    args = parser.parse_args(argv)
+
+    try:
+        result = generate_report(args.sweep, out_dir=args.out,
+                                 png=args.png)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot report on {args.sweep!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"report: {result.report_path}", file=sys.stderr)
+    for path in result.figures:
+        print(f"  figure: {path}", file=sys.stderr)
+    print(f"  summary: {result.summary_path}", file=sys.stderr)
+    for notice in result.notices:
+        print(f"  note: {notice}", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     return run_main(argv)
 
 

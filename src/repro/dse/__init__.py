@@ -26,13 +26,21 @@ from .analyze import (axis_sensitivity, dominates, elasticity, failures,
                       sensitivity_summary, successes)
 from .evaluate import (EVALUATORS, PointEvaluationError, evaluate_point,
                        flow_metrics)
+from .fidelity import (FidelityRung, MultiFidelityResult,
+                       MultiFidelityRunner, MultiFidelitySpec,
+                       PromotionPolicy, load_space, promote,
+                       run_multi_fidelity)
+from .report import generate_report, load_sweep_dir
 from .runner import SweepRunner, default_sweep_dir, run_sweep
 from .space import Axis, SweepSpec
 
 __all__ = [
-    "Axis", "EVALUATORS", "PointEvaluationError", "SweepRunner",
-    "SweepSpec", "axis_sensitivity", "default_sweep_dir", "dominates",
-    "elasticity", "evaluate_point", "failures", "flat_records",
-    "flow_metrics", "load_points", "pareto_front", "run_sweep",
+    "Axis", "EVALUATORS", "FidelityRung", "MultiFidelityResult",
+    "MultiFidelityRunner", "MultiFidelitySpec", "PointEvaluationError",
+    "PromotionPolicy", "SweepRunner", "SweepSpec", "axis_sensitivity",
+    "default_sweep_dir", "dominates", "elasticity", "evaluate_point",
+    "failures", "flat_records", "flow_metrics", "generate_report",
+    "load_points", "load_space", "load_sweep_dir", "pareto_front",
+    "promote", "run_multi_fidelity", "run_sweep",
     "sensitivity_summary", "successes",
 ]

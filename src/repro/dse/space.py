@@ -13,6 +13,14 @@ Specs round-trip through plain dicts (:meth:`SweepSpec.to_dict` /
 :meth:`SweepSpec.from_dict`) and load from YAML or JSON files
 (:meth:`SweepSpec.from_file`) — see ``examples/spaces/`` for the file
 format.
+
+A spec may also carry a ``subset`` — a sorted tuple of indices into the
+full point list — which restricts :meth:`SweepSpec.points` to those
+points while keeping their original identities
+(:meth:`SweepSpec.point_id` returns the *parent* index).  This is how
+the multi-fidelity runner (:mod:`repro.dse.fidelity`) expresses
+"re-evaluate only the promoted points at the next fidelity" as a plain
+resumable sweep whose manifest records the promotion decision.
 """
 
 from __future__ import annotations
@@ -182,6 +190,9 @@ class SweepSpec:
         objectives: Optional Pareto objectives as ``(metric, sense)``
             pairs, sense ``"min"`` or ``"max"`` — consumed by the CLI
             and ``repro.dse.analyze.pareto_front``.
+        subset: Optional sorted index tuple restricting the sweep to a
+            subset of the full point list (multi-fidelity promotion).
+            ``None`` sweeps every point.
     """
 
     name: str
@@ -197,6 +208,7 @@ class SweepSpec:
     with_eyes: bool = False
     with_thermal: bool = False
     objectives: Tuple[Tuple[str, str], ...] = ()
+    subset: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         object.__setattr__(self, "axes", tuple(self.axes))
@@ -205,6 +217,9 @@ class SweepSpec:
                  else self.objectives)
         object.__setattr__(self, "objectives",
                            tuple((str(m), str(s)) for m, s in pairs))
+        if self.subset is not None:
+            object.__setattr__(self, "subset",
+                               tuple(int(i) for i in self.subset))
 
     def validate(self) -> None:
         """Raises ``ValueError`` on an ill-formed spec."""
@@ -233,6 +248,17 @@ class SweepSpec:
                 raise ValueError(
                     f"objective {metric!r}: sense must be min or max, "
                     f"got {sense!r}")
+        if self.subset is not None:
+            if not self.subset:
+                raise ValueError("subset must not be empty (omit it to "
+                                 "sweep every point)")
+            if list(self.subset) != sorted(set(self.subset)):
+                raise ValueError(
+                    f"subset must be strictly increasing, got "
+                    f"{self.subset}")
+            if self.subset[0] < 0:
+                raise ValueError(f"subset has negative index "
+                                 f"{self.subset[0]}")
 
     # ---------------------------------------------------------------- #
     # Point generation (deterministic in the spec).
@@ -244,9 +270,23 @@ class SweepSpec:
         Grid sampling takes the cartesian product of the axis grids in
         axis order; random and LHS draw ``num_samples`` points from a
         ``numpy`` generator seeded with ``seed``, so the list is
-        reproducible — the property resume depends on.
+        reproducible — the property resume depends on.  When ``subset``
+        is set, only the selected points are returned (in subset
+        order); :meth:`point_id` still names them by their index in the
+        full list.
         """
         self.validate()
+        base = self._base_points()
+        if self.subset is None:
+            return base
+        if self.subset[-1] >= len(base):
+            raise ValueError(
+                f"subset index {self.subset[-1]} out of range for a "
+                f"{len(base)}-point sweep")
+        return [base[i] for i in self.subset]
+
+    def _base_points(self) -> List[Dict[str, object]]:
+        """The unrestricted point list (ignores ``subset``)."""
         if self.sampler == "grid":
             grids = [a.grid_values() for a in self.axes]
             combos = itertools.product(*grids)
@@ -271,7 +311,14 @@ class SweepSpec:
         ]
 
     def point_id(self, index: int) -> str:
-        """Stable identifier of the point at ``index``."""
+        """Stable identifier of the point at position ``index``.
+
+        For a ``subset`` spec the identifier carries the point's index
+        in the *full* point list, so the same physical design point
+        keeps the same id at every fidelity rung.
+        """
+        if self.subset is not None:
+            index = self.subset[index]
         return f"p{index:05d}"
 
     # ---------------------------------------------------------------- #
@@ -313,6 +360,8 @@ class SweepSpec:
             out["num_samples"] = self.num_samples
         if self.objectives:
             out["objectives"] = {m: s for m, s in self.objectives}
+        if self.subset is not None:
+            out["subset"] = list(self.subset)
         return out
 
     @classmethod

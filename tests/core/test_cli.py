@@ -92,3 +92,109 @@ class TestSweepCli:
     def test_sweep_requires_space(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
+
+    def test_missing_space_file_one_line_error(self, tmp_path, capsys):
+        rc = main(["sweep", "--space", str(tmp_path / "nope.yaml")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad space file")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_space_file_one_line_error(self, tmp_path,
+                                                 capsys):
+        space = tmp_path / "broken.yaml"
+        space.write_text("name: [unclosed\n  - ][ {{\n")
+        rc = main(["sweep", "--space", str(space)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad space file")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_spec_one_line_error(self, tmp_path, capsys):
+        space = tmp_path / "bad.json"
+        space.write_text('{"name": "t", "evaluator": "spice", '
+                         '"axes": [{"name": "scale", '
+                         '"values": [0.02]}]}')
+        rc = main(["sweep", "--space", str(space)])
+        assert rc == 2
+        assert "error: bad space file" in capsys.readouterr().err
+
+
+MF_SPACE_YAML = SPACE_YAML + """\
+fidelity:
+  rungs:
+    - evaluator: geometry
+      objectives:
+        interposer_area_mm2: min
+      policy:
+        top_k: 1
+"""
+
+
+class TestMultiFidelityCli:
+    def test_ladder_runs_and_logs_funnel(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(MF_SPACE_YAML)
+        out_dir = tmp_path / "mf"
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(out_dir)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "multi-fidelity sweep cli-smoke" in err
+        assert "ladder geometry -> link" in err
+        assert "promoted" in err and "pruned" in err
+        assert (out_dir / "fidelity.json").exists()
+        assert (out_dir / "rung0_geometry" / "points.jsonl").exists()
+        assert (out_dir / "rung1_link" / "points.jsonl").exists()
+
+    def test_interrupted_ladder_exits_nonzero(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(MF_SPACE_YAML)
+        out_dir = tmp_path / "mf"
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(out_dir), "--limit", "1"])
+        assert rc == 1
+        assert "STOPPED" in capsys.readouterr().err
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(out_dir), "--resume"])
+        assert rc == 0
+
+
+class TestReportCli:
+    def test_report_on_sweep_dir(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(SPACE_YAML)
+        out_dir = tmp_path / "sweep"
+        assert main(["sweep", "--space", str(space),
+                     "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        rc = main(["report", "--sweep", str(out_dir)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "report:" in err and "summary:" in err
+        report_dir = out_dir / "report"
+        assert (report_dir / "report.md").exists()
+        assert (report_dir / "report.json").exists()
+        assert (report_dir / "fig_pareto.svg").exists()
+
+    def test_report_out_dir_override(self, tmp_path, capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(MF_SPACE_YAML)
+        store = tmp_path / "mf"
+        assert main(["sweep", "--space", str(space),
+                     "--out", str(store)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "published"
+        assert main(["report", "--sweep", str(store),
+                     "--out", str(out)]) == 0
+        assert (out / "report.md").exists()
+        assert (out / "fig_funnel.svg").exists()
+
+    def test_report_on_non_store_one_line_error(self, tmp_path, capsys):
+        rc = main(["report", "--sweep", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot report on")
+        assert "Traceback" not in err

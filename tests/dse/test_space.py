@@ -202,11 +202,53 @@ class TestSerialization:
 
     def test_example_space_files_parse(self):
         import os
+        from repro.dse.fidelity import load_space
         spaces = os.path.join(os.path.dirname(__file__), os.pardir,
                               os.pardir, "examples", "spaces")
         names = sorted(os.listdir(spaces))
         assert len(names) >= 2
         for fname in names:
-            spec = SweepSpec.from_file(os.path.join(spaces, fname))
-            spec.validate()
+            spec, mf = load_space(os.path.join(spaces, fname))
+            if mf is not None:
+                mf.validate()
+            else:
+                spec.validate()
             assert spec.points()
+
+
+class TestSubset:
+    def test_points_filtered_in_order(self):
+        full = make_spec()
+        sub = make_spec(subset=(1, 3, 5))
+        base = full.points()
+        assert sub.points() == [base[1], base[3], base[5]]
+
+    def test_point_ids_keep_parent_index(self):
+        sub = make_spec(subset=(1, 3, 5))
+        assert [sub.point_id(i) for i in range(3)] \
+            == ["p00001", "p00003", "p00005"]
+
+    def test_subset_changes_hash_and_round_trips(self):
+        full = make_spec()
+        sub = make_spec(subset=(0, 2))
+        assert sub.spec_hash() != full.spec_hash()
+        clone = SweepSpec.from_dict(sub.to_dict())
+        assert clone.subset == (0, 2)
+        assert clone.spec_hash() == sub.spec_hash()
+        assert clone.points() == sub.points()
+
+    def test_subset_must_be_sorted_unique(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            make_spec(subset=(3, 1)).validate()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            make_spec(subset=(1, 1)).validate()
+
+    def test_subset_bounds_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make_spec(subset=(0, 99)).points()
+        with pytest.raises(ValueError, match="negative"):
+            make_spec(subset=(-1, 2)).validate()
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_spec(subset=()).validate()
