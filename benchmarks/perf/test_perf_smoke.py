@@ -3,11 +3,16 @@
 Three jobs:
 
 * Run one small-scale design point end to end and dump its per-stage
-  wall times (plus the router's phase stats) to
-  ``results/BENCH_flow.json`` so stage-level regressions show up in
-  review diffs.
-* Gate the interposer routing stage against the recorded
-  ``flow_routing_s`` baseline (fail past ``REGRESSION_FACTOR``).
+  wall times (plus the router's phase stats and the circuit-solver
+  counters) to ``results/BENCH_flow.json`` so stage-level regressions
+  show up in review diffs.
+* Gate the interposer routing stage (``flow_routing_s``) and its maze
+  phase (``flow_maze_s``) against the recorded baselines (fail past
+  ``REGRESSION_FACTOR``).
+* Gate the flow's LU factorization count (``flow_mna_factorizations``)
+  — a *count*, not a time, so any change that silently drops the AC
+  engine off its block-factorized path fails deterministically on every
+  machine.
 * Time the transient engine on a fixed PDN-style circuit and fail if it
   runs more than ``REGRESSION_FACTOR`` slower than the recorded baseline
   in ``baseline.json``.  Re-record with ``REPRO_PERF_REBASE=1`` after an
@@ -21,7 +26,9 @@ import time
 
 import pytest
 
+from repro.circuit.ac import driving_point_impedance, log_frequencies
 from repro.circuit.elements import Circuit
+from repro.circuit.mna import reset_solver_counters, solver_counters
 from repro.circuit.transient import simulate
 from repro.circuit.waveforms import dc, pulse
 from repro.core.flow import clear_cache, run_design
@@ -98,6 +105,8 @@ def test_flow_stage_times_recorded(flow_run):
     }
     if result.route is not None and result.route.stats is not None:
         updates["router_stats"] = result.route.stats.as_dict()
+    if result.solver_stats is not None:
+        updates["solver_stats"] = result.solver_stats
     bench_path = os.path.join(RESULTS_DIR, "BENCH_flow.json")
     payload = {}
     if os.path.exists(bench_path):
@@ -131,6 +140,66 @@ def test_routing_not_regressed(flow_run):
     assert elapsed <= baseline * REGRESSION_FACTOR, (
         f"routing stage took {elapsed:.4f}s vs baseline {baseline:.4f}s "
         f"(>{REGRESSION_FACTOR}x regression)")
+
+
+def _gate_or_rebase(key, value, digits=4):
+    """Record ``value`` under ``key`` (rebase mode or first run), else
+    return the recorded baseline.  Merge-not-overwrite: only ``key`` is
+    updated, every other baseline survives."""
+    baseline = _read_rebase_baseline()
+    if os.environ.get("REPRO_PERF_REBASE") == "1" or key not in baseline:
+        baseline[key] = round(value, digits)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        pytest.skip(f"baseline recorded: {key}={baseline[key]}")
+    return baseline[key]
+
+
+def test_maze_phase_not_regressed(flow_run):
+    """The maze phase — this PR's headline speedup — gets its own gate
+    so a regression inside RRR cannot hide behind pattern routing."""
+    result, _ = flow_run
+    elapsed = result.stage_times["routing/maze"]
+    baseline = _gate_or_rebase("flow_maze_s", elapsed)
+    assert elapsed <= baseline * REGRESSION_FACTOR, (
+        f"maze phase took {elapsed:.4f}s vs baseline {baseline:.4f}s "
+        f"(>{REGRESSION_FACTOR}x regression)")
+
+
+def test_mna_factorization_count_gated(flow_run):
+    """LU factorizations are a deterministic *count*: any change that
+    knocks the AC engine off its one-LU-per-sweep block path fails here
+    on every machine, independent of clock speed."""
+    result, _ = flow_run
+    assert result.solver_stats is not None
+    count = result.solver_stats["mna_factorizations"]
+    baseline = _gate_or_rebase("flow_mna_factorizations", count, digits=0)
+    assert count <= baseline, (
+        f"flow performed {count} LU factorizations vs the recorded "
+        f"{baseline} — the block-solve path lost coverage")
+    assert result.solver_stats["robust_fallbacks"] == 0, (
+        "the smoke flow hit singular MNA systems — a modelling "
+        "regression, not a perf one")
+
+
+def test_ac_sweep_is_block_factored():
+    """A 48-point impedance sweep must cost <= 2 LU factorizations for
+    its single topology (1 block LU; 2 leaves headroom for a DC
+    companion), never one per point."""
+    ckt = Circuit("ac48")
+    ckt.add_vsource("V1", "in", "0", dc(1.0))
+    ckt.add_resistor("R1", "in", "mid", 1.0)
+    ckt.add_inductor("L1", "mid", "out", 1e-10)
+    ckt.add_capacitor("C1", "out", "0", 1e-9)
+    ckt.add_resistor("R2", "out", "0", 50.0)
+    freqs = log_frequencies(1e6, 1e9, 16)[:48]
+    assert len(freqs) == 48
+    reset_solver_counters()
+    driving_point_impedance(ckt, "out", freqs)
+    counters = solver_counters()
+    assert counters["mna_factorizations"] <= 2
+    assert counters["mna_solves"] >= 48
 
 
 def test_simulate_not_regressed():

@@ -3,7 +3,7 @@
 Three modes::
 
     python -m repro [design] [--scale S] [--seed N] [...]   # run the flow
-    python -m repro sweep --space FILE [--jobs N] [--resume]
+    python -m repro sweep --space FILE [--jobs N] [--resume] [--profile]
     python -m repro report --sweep DIR [--out DIR] [--png]
 
 The first runs the co-design flow for one design point (or all of them)
@@ -196,6 +196,12 @@ def sweep_main(argv) -> int:
     parser.add_argument("--limit", type=int, default=None,
                         help="stop after the store holds N points "
                              "(multi-fidelity: N new evaluations)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the sweep with cProfile; writes "
+                             "results/profile_sweep_<name>.pstats and a "
+                             "top-25 cumulative summary (best with "
+                             "--jobs 1: worker-process time is invisible "
+                             "to the parent's profiler)")
     args = parser.parse_args(argv)
 
     try:
@@ -213,6 +219,14 @@ def sweep_main(argv) -> int:
 
     progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
     total = len(spec.points())
+    profiler = None
+    if args.profile:
+        import cProfile
+        if args.jobs != 1:
+            print("note: --profile sees only the parent process; run "
+                  "with --jobs 1 for a complete picture", file=sys.stderr)
+        profiler = cProfile.Profile()
+        profiler.enable()
     if mf is not None:
         ladder = " -> ".join([r.evaluator for r in mf.rungs]
                              + [spec.evaluator])
@@ -231,6 +245,7 @@ def sweep_main(argv) -> int:
             print(f"  {line}", file=sys.stderr)
         print(f"result store: {runner.out_dir}", file=sys.stderr)
         if not result.complete:
+            _dump_sweep_profile(profiler, spec.name)
             return 1
     else:
         runner = SweepRunner(spec, out_dir=args.out, jobs=args.jobs,
@@ -247,6 +262,7 @@ def sweep_main(argv) -> int:
               f"({len(failures(records))} failed) in {elapsed:.1f}s",
               file=sys.stderr)
         print(f"result store: {runner.out_dir}", file=sys.stderr)
+    _dump_sweep_profile(profiler, spec.name)
 
     failed = failures(records)
     for record in failed:
@@ -284,6 +300,31 @@ def sweep_main(argv) -> int:
                            title="Per-axis sensitivity (endpoint "
                                  "elasticity)"))
     return 0
+
+
+def _dump_sweep_profile(profiler, sweep_name: str) -> None:
+    """Write a finished sweep profile to ``results/`` (no-op when the
+    sweep ran unprofiled) — the same artifact pair ``--profile``
+    produces for single-design runs."""
+    if profiler is None:
+        return
+    import io
+    import os
+    import pstats
+
+    profiler.disable()
+    os.makedirs("results", exist_ok=True)
+    pstats_path = os.path.join("results",
+                               f"profile_sweep_{sweep_name}.pstats")
+    profiler.dump_stats(pstats_path)
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative") \
+        .print_stats(25)
+    txt_path = os.path.join("results", f"profile_sweep_{sweep_name}.txt")
+    with open(txt_path, "w") as fh:
+        fh.write(buf.getvalue())
+    print(f"profile: {pstats_path} (+ top-25 summary {txt_path})",
+          file=sys.stderr)
 
 
 def _fmt(value):

@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .elements import Circuit
-from .mna import MnaStructure, Solution, assemble_ac, _robust_solve
+from .mna import (CircuitStamps, MnaStructure, Solution, ac_block_factor,
+                  assemble_ac, _robust_solve)
 
 
 @dataclass
@@ -85,21 +86,33 @@ def driving_point_impedance(circuit: Circuit, node: str,
     freqs = np.asarray(list(frequencies_hz), dtype=float)
     if (freqs <= 0).any():
         raise ValueError("AC frequencies must be positive")
-    values = np.zeros(len(freqs), dtype=complex)
-    for i, f in enumerate(freqs):
-        st, A, z = assemble_ac(circuit, 2 * np.pi * f)
-        z[:] = 0.0  # zero independent sources
-        ni = st.node(node)
-        if ni < 0:
-            raise ValueError("cannot probe impedance at ground")
-        z[ni] += 1.0
-        nr = st.node(reference)
-        if nr >= 0:
-            z[nr] -= 1.0
-        x = _robust_solve(A, z)
-        v = x[ni] - (x[nr] if nr >= 0 else 0.0)
-        values[i] = v
+    st = CircuitStamps.of(circuit).structure
+    ni = st.node(node)
+    if ni < 0:
+        raise ValueError("cannot probe impedance at ground")
+    nr = st.node(reference)
+    Z = np.zeros((len(freqs), st.size), dtype=complex)
+    Z[:, ni] += 1.0  # independent sources stay zeroed
+    if nr >= 0:
+        Z[:, nr] -= 1.0
+    X = _solve_sweep(circuit, freqs, Z)
+    values = X[:, ni] - (X[:, nr] if nr >= 0 else 0.0)
     return AcSweepResult(frequencies_hz=freqs, values=values)
+
+
+def _solve_sweep(circuit: Circuit, freqs: np.ndarray,
+                 Z: np.ndarray) -> np.ndarray:
+    """Solve one RHS per sweep point: block-factored, per-point backup."""
+    fac = ac_block_factor(circuit, freqs)
+    if fac is not None:
+        return fac.solve(Z)
+    # Singular stacked system: per-point robust solves (counted and
+    # warned about by the MNA layer).
+    X = np.zeros_like(Z)
+    for i, f in enumerate(freqs):
+        _st, A, _z = assemble_ac(circuit, 2 * np.pi * f)
+        X[i] = _robust_solve(A, Z[i])
+    return X
 
 
 def transfer_function(circuit: Circuit, source_name: str, out_node: str,
@@ -120,14 +133,14 @@ def transfer_function(circuit: Circuit, source_name: str, out_node: str,
             break
     if src_idx is None:
         raise KeyError(f"no voltage source named {source_name!r}")
-    values = np.zeros(len(freqs), dtype=complex)
-    for i, f in enumerate(freqs):
-        st, A, z = assemble_ac(circuit, 2 * np.pi * f)
-        z[:] = 0.0
-        z[st.vsrc_offset + src_idx] = 1.0
-        x = _robust_solve(A, z)
-        no = st.node(out_node)
-        nr = st.node(out_ref)
-        v = (x[no] if no >= 0 else 0.0) - (x[nr] if nr >= 0 else 0.0)
-        values[i] = v
+    st = CircuitStamps.of(circuit).structure
+    no = st.node(out_node)
+    nr = st.node(out_ref)
+    Z = np.zeros((len(freqs), st.size), dtype=complex)
+    Z[:, st.vsrc_offset + src_idx] = 1.0
+    X = _solve_sweep(circuit, freqs, Z)
+    values = ((X[:, no] if no >= 0 else 0.0)
+              - (X[:, nr] if nr >= 0 else 0.0))
+    if np.isscalar(values) or values.ndim == 0:  # both ends grounded
+        values = np.zeros(len(freqs), dtype=complex)
     return AcSweepResult(frequencies_hz=freqs, values=values)

@@ -18,14 +18,47 @@ Sign conventions:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.linalg
 import scipy.sparse
+import scipy.sparse.linalg
 
 from .elements import Circuit, is_ground
+
+_LOG = logging.getLogger(__name__)
+
+#: Process-wide solver observability counters.  ``mna_factorizations``
+#: counts LU factorizations (a block factorization covering a whole
+#: sweep counts once — that is the point), ``mna_solves`` counts
+#: (system, right-hand-side) pairs solved, and ``robust_fallbacks``
+#: counts singular systems that fell back to least squares.  Flows
+#: call :func:`reset_solver_counters` per run and snapshot the totals
+#: into their diagnostics.
+SOLVER_COUNTERS: Dict[str, int] = {
+    "mna_factorizations": 0,
+    "mna_solves": 0,
+    "robust_fallbacks": 0,
+}
+
+_fallback_warned = False
+
+
+def reset_solver_counters() -> None:
+    """Zero the solver counters and re-arm the once-per-run singular-
+    system warning."""
+    global _fallback_warned
+    for key in SOLVER_COUNTERS:
+        SOLVER_COUNTERS[key] = 0
+    _fallback_warned = False
+
+
+def solver_counters() -> Dict[str, int]:
+    """A snapshot copy of the current solver counters."""
+    return dict(SOLVER_COUNTERS)
 
 
 @dataclass
@@ -147,6 +180,8 @@ class CircuitStamps:
         self.B = B
         self._has_reactance = bool(circuit.capacitors or circuit.inductors
                                    or circuit.mutuals)
+        #: Frequency-grid-keyed cache of AC block factorizations.
+        self._ac_factors: Dict[bytes, Optional["AcBlockFactor"]] = {}
 
         # Element index arrays for vectorized RHS assembly / recording.
         self.vsrc_rows = np.arange(st.vsrc_offset,
@@ -376,9 +411,95 @@ def solve_ac(circuit: Circuit, frequency_hz: float) -> Solution:
 
 
 def _robust_solve(A: np.ndarray, z: np.ndarray) -> np.ndarray:
-    """LU solve with a least-squares fallback for near-singular systems."""
+    """LU solve with a least-squares fallback for singular systems.
+
+    Fallbacks are never silent: each one increments
+    ``SOLVER_COUNTERS["robust_fallbacks"]`` and the first per run (see
+    :func:`reset_solver_counters`) logs a warning — a singular MNA
+    system almost always means a modelling bug (floating node, zero
+    resistance loop), and the least-squares answer is only the
+    minimum-norm stand-in for it.
+    """
+    global _fallback_warned
     try:
-        return scipy.linalg.solve(A, z)
+        x = scipy.linalg.solve(A, z)
+        SOLVER_COUNTERS["mna_factorizations"] += 1
+        SOLVER_COUNTERS["mna_solves"] += 1
+        return x
     except scipy.linalg.LinAlgError:
+        SOLVER_COUNTERS["robust_fallbacks"] += 1
+        if not _fallback_warned:
+            _fallback_warned = True
+            _LOG.warning(
+                "singular MNA system (%dx%d): falling back to a "
+                "least-squares solve; further fallbacks this run are "
+                "counted silently (see solver counters)",
+                A.shape[0], A.shape[1])
         x, *_ = np.linalg.lstsq(A, z, rcond=None)
         return x
+
+
+class AcBlockFactor:
+    """One LU factorization covering every point of an AC sweep.
+
+    Stacks ``A(omega_k) = G + j omega_k B`` for all sweep points into
+    one block-diagonal sparse matrix and factors it once with SuperLU:
+    one factorization, then any number of stacked-RHS solves — the
+    "one LU, many solves" shape a per-point sweep pays K times for.
+    Obtain instances through :func:`ac_block_factor`, which caches them
+    on the circuit's :class:`CircuitStamps` keyed by the frequency
+    grid, so repeated sweeps of one topology reuse the factorization.
+    """
+
+    def __init__(self, stamps: "CircuitStamps", omegas: np.ndarray):
+        self.structure = stamps.structure
+        self.n_points = len(omegas)
+        blocks = [stamps.ac_matrix(w) for w in omegas]
+        A = scipy.sparse.block_diag(blocks, format="csc")
+        self._lu = scipy.sparse.linalg.splu(A)
+        SOLVER_COUNTERS["mna_factorizations"] += 1
+
+    def solve(self, Z: np.ndarray) -> np.ndarray:
+        """Solve ``A(omega_k) x_k = z_k`` for every sweep point.
+
+        Args:
+            Z: Right-hand sides, shape ``(K, size)`` or ``(K, size, r)``
+               for ``r`` simultaneous injections per point.
+
+        Returns:
+            Solutions with the same shape as ``Z``.
+        """
+        K, m = self.n_points, self.structure.size
+        if Z.ndim == 2:
+            b = Z.reshape(K * m)
+            n_rhs = 1
+        else:
+            b = np.ascontiguousarray(Z).reshape(K * m, -1)
+            n_rhs = b.shape[1]
+        x = self._lu.solve(b)
+        SOLVER_COUNTERS["mna_solves"] += K * n_rhs
+        return x.reshape(Z.shape)
+
+
+def ac_block_factor(circuit: Circuit,
+                    frequencies_hz: np.ndarray
+                    ) -> Optional[AcBlockFactor]:
+    """The cached block factorization of an AC sweep, or ``None``.
+
+    Returns ``None`` when the stacked system is singular (callers then
+    fall back to per-point :func:`_robust_solve`, which counts and
+    warns) or the circuit is empty.  The factor cache lives on the
+    circuit's stamp structure, keyed by the exact frequency grid.
+    """
+    stamps = CircuitStamps.of(circuit)
+    if stamps.structure.size == 0:
+        return None
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    key = freqs.tobytes()
+    cache = stamps._ac_factors
+    if key not in cache:
+        try:
+            cache[key] = AcBlockFactor(stamps, 2.0 * np.pi * freqs)
+        except RuntimeError:  # SuperLU: matrix is singular
+            cache[key] = None
+    return cache[key]

@@ -19,7 +19,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from .elements import Circuit
-from .mna import assemble_ac, _robust_solve
+from .mna import CircuitStamps, ac_block_factor, assemble_ac
 
 #: Boltzmann constant (J/K).
 K_BOLTZMANN = 1.380649e-23
@@ -86,26 +86,42 @@ def output_noise(circuit: Circuit, node: str,
     contributions: Dict[str, np.ndarray] = {
         r.name: np.zeros(len(freqs)) for r in circuit.resistors}
 
-    for fi, f in enumerate(freqs):
-        st, A, z = assemble_ac(circuit, 2 * math.pi * f)
-        z[:] = 0.0
-        out_idx = st.node(node)
-        if out_idx < 0:
-            raise ValueError("cannot observe noise at ground")
-        # LU once per frequency, reuse for every injection.
+    st = CircuitStamps.of(circuit).structure
+    out_idx = st.node(node)
+    if out_idx < 0:
+        raise ValueError("cannot observe noise at ground")
+    # The Norton injection pattern of each resistor is frequency-
+    # independent, so the whole analysis is one block factorization
+    # over the sweep with one RHS column per resistor.
+    n_res = len(circuit.resistors)
+    rhs = np.zeros((st.size, n_res), dtype=complex)
+    i2 = np.empty(n_res)
+    for k, r in enumerate(circuit.resistors):
+        i2[k] = 4.0 * K_BOLTZMANN * temperature_k / r.resistance
+        n1, n2 = st.node(r.n1), st.node(r.n2)
+        if n1 >= 0:
+            rhs[n1, k] += 1.0
+        if n2 >= 0:
+            rhs[n2, k] -= 1.0
+    fac = ac_block_factor(circuit, freqs)
+    if fac is not None:
+        Z = np.repeat(rhs[None, :, :], len(freqs), axis=0)
+        X = fac.solve(Z)
+        gain2 = np.abs(X[:, out_idx, :]) ** 2  # (freq, resistor)
+        for k, r in enumerate(circuit.resistors):
+            contributions[r.name][:] = i2[k] * gain2[:, k]
+    else:  # singular sweep: per-frequency dense factorization
         import scipy.linalg
-        lu = scipy.linalg.lu_factor(A)
-        for r in circuit.resistors:
-            i2 = 4.0 * K_BOLTZMANN * temperature_k / r.resistance
-            rhs = np.zeros(st.size, dtype=complex)
-            n1, n2 = st.node(r.n1), st.node(r.n2)
-            if n1 >= 0:
-                rhs[n1] += 1.0
-            if n2 >= 0:
-                rhs[n2] -= 1.0
+        from .mna import SOLVER_COUNTERS
+        for fi, f in enumerate(freqs):
+            _st, A, _z = assemble_ac(circuit, 2 * math.pi * f)
+            lu = scipy.linalg.lu_factor(A)
+            SOLVER_COUNTERS["mna_factorizations"] += 1
             x = scipy.linalg.lu_solve(lu, rhs)
-            gain2 = abs(x[out_idx]) ** 2
-            contributions[r.name][fi] = i2 * gain2
+            SOLVER_COUNTERS["mna_solves"] += n_res
+            gain2 = np.abs(x[out_idx, :]) ** 2
+            for k, r in enumerate(circuit.resistors):
+                contributions[r.name][fi] = i2[k] * gain2[k]
 
     total = np.zeros(len(freqs))
     for psd in contributions.values():

@@ -31,8 +31,8 @@ import numpy as np
 import scipy.linalg
 
 from .elements import Circuit
-from .mna import (CircuitStamps, MnaStructure, Solution, _robust_solve,
-                  _stamp_conductance, assemble_dc)
+from .mna import (SOLVER_COUNTERS, CircuitStamps, MnaStructure, Solution,
+                  _robust_solve, _stamp_conductance, assemble_dc)
 
 
 @dataclass
@@ -129,6 +129,7 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
 
     # --- constant system matrix -------------------------------------- #
     lu = scipy.linalg.lu_factor(stamps.transient_matrix(dt))
+    SOLVER_COUNTERS["mna_factorizations"] += 1
 
     # --- batched source sampling over the full time grid -------------- #
     times = np.arange(steps) * dt
@@ -198,6 +199,7 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
         v_out[step] = xa[rec_idx]
         i_out[step] = x[cur_idx]
 
+    SOLVER_COUNTERS["mna_solves"] += steps - 1
     return TransientResult(
         time=times,
         voltages={n: v_out[:, c] for c, n in enumerate(node_names)},

@@ -35,6 +35,7 @@ from ..chiplet.place import place
 from ..chiplet.power import analyze_power, power_density_map
 from ..chiplet.route import global_route
 from ..chiplet.timing import analyze_timing
+from ..circuit.mna import reset_solver_counters, solver_counters
 from ..interposer.pdn import PdnStackup, build_pdn
 from ..interposer.placement import InterposerPlacement, place_dies
 from ..interposer.routing import InterposerRoute, route_interposer
@@ -78,6 +79,10 @@ class DesignResult:
     #: Wall time per flow stage in seconds (perf harness input); not part
     #: of the design point itself, so it is excluded from comparisons.
     stage_times: Optional[Dict[str, float]] = None
+    #: Circuit-solver counters for this run (``mna_factorizations``,
+    #: ``mna_solves``, ``robust_fallbacks``); observability only, like
+    #: ``stage_times``.
+    solver_stats: Optional[Dict[str, int]] = None
 
     def table4_row(self) -> Dict[str, object]:
         """One column of Table IV (interposer design results)."""
@@ -331,6 +336,7 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         if hit is not None:
             return hit
     stage_times: Dict[str, float] = {}
+    reset_solver_counters()
     t_total = time.perf_counter()
     spec = get_spec(name)
     if overrides:
@@ -407,12 +413,14 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
 
     fullchip = full_chip_summary(logic, memory, l2m_rep, l2l_rep)
     stage_times["total"] = time.perf_counter() - t_total
+    solver_stats = solver_counters()
     result = DesignResult(
         spec=spec, logic=logic, memory=memory, placement=placement,
         route=route, pdn=pdn, pdn_impedance=pdn_imp, ir_drop=ir,
         power_transient=transient, l2m_channel=l2m_rep,
         l2l_channel=l2l_rep, l2m_eye=l2m_eye, l2l_eye=l2l_eye,
-        thermal=thermal, fullchip=fullchip, stage_times=stage_times)
+        thermal=thermal, fullchip=fullchip, stage_times=stage_times,
+        solver_stats=solver_stats)
     if use_cache:
         _CACHE[key] = result
     return result

@@ -44,6 +44,7 @@ references, which stay available as ``path_cost_scalar``,
 
 from __future__ import annotations
 
+import ctypes
 import heapq
 import logging
 import math
@@ -61,6 +62,7 @@ except Exception:  # pragma: no cover — scipy ships with the package
     _HAVE_SCIPY = False
 
 from ..tech.interposer import InterposerSpec, IntegrationStyle, RoutingStyle
+from ._mazekernel import load_kernel as _load_maze_kernel
 from .placement import InterposerPlacement, PlacedDie
 
 _LOG = logging.getLogger(__name__)
@@ -79,6 +81,11 @@ MAZE_NODE_BUDGET = 120000
 
 #: Maximum rip-up/reroute passes.
 RRR_ROUNDS = 2
+
+#: State-count ceiling for the numpy wavefront engine on diagonal
+#: grids; larger grids keep the scalar A*, whose search ellipse beats
+#: full-grid relaxation passes.
+WAVEFRONT_MAX_STATES = 20000
 
 
 def _integer_costs() -> bool:
@@ -109,6 +116,15 @@ class RouterStats:
             exhausted or no path) so the net kept its overflowing
             pattern route — previously swallowed silently.
         overflow_cells: Cells still over capacity after the final round.
+        fields_built: Fresh distance-field sweeps run by the maze
+            engine (one per uncached maze call).
+        fields_patched: Maze calls answered from a cached field result
+            after validating it against the occupancy-flip log — the
+            shared-field reuse path.
+        maze_nodes_per_call_p50: Median A* expansion count per maze
+            call (cached calls report their stored count).
+        maze_nodes_per_call_p99: 99th-percentile expansion count per
+            maze call.
     """
 
     pattern_time_s: float = 0.0
@@ -121,6 +137,10 @@ class RouterStats:
     maze_nodes: int = 0
     maze_fallbacks: int = 0
     overflow_cells: int = 0
+    fields_built: int = 0
+    fields_patched: int = 0
+    maze_nodes_per_call_p50: float = 0.0
+    maze_nodes_per_call_p99: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict for JSON dumps (perf harness / BENCH_flow.json)."""
@@ -135,6 +155,12 @@ class RouterStats:
             "maze_nodes": self.maze_nodes,
             "maze_fallbacks": self.maze_fallbacks,
             "overflow_cells": self.overflow_cells,
+            "fields_built": self.fields_built,
+            "fields_patched": self.fields_patched,
+            "maze_nodes_per_call_p50": round(
+                self.maze_nodes_per_call_p50, 1),
+            "maze_nodes_per_call_p99": round(
+                self.maze_nodes_per_call_p99, 1),
         }
 
 
@@ -629,7 +655,140 @@ class RoutingGrid:
             except Exception:  # pragma: no cover — safety fallback
                 _LOG.exception("distance-field maze engine failed; "
                                "falling back to scalar A*")
+        if (self.diagonal and VIA_COST >= 0 and OVERFLOW_COST >= 0
+                and self.layers * self.ny * self.nx
+                <= WAVEFRONT_MAX_STATES):
+            try:
+                path, nodes = self._maze_wavefront(src, dst, max_nodes)
+                return path, nodes, "wavefront"
+            except Exception:  # pragma: no cover — safety fallback
+                _LOG.exception("wavefront maze engine failed; "
+                               "falling back to scalar A*")
         return self.maze_route_scalar(src, dst, max_nodes), 0, "scalar"
+
+    def _maze_wavefront(self, src: Tuple[int, int], dst: Tuple[int, int],
+                        max_nodes: int
+                        ) -> Tuple[Optional[List[Tuple[int, int, int]]],
+                                   int]:
+        """Numpy-frontier wavefront maze search for diagonal grids.
+
+        Synchronous Bellman-Ford relaxation passes over dense
+        ``(layer, y, x)`` arrays until the distance field reaches its
+        fixpoint.  Both this and the scalar Dijkstra compute, per state,
+        the *minimum over all paths of the left-to-right float path
+        sum* (Dijkstra by the greedy argument — float addition of
+        non-negative weights is monotone — and Bellman-Ford by
+        definition of its fixpoint), so the fields agree bit for bit
+        and the scalar A*'s result can be reconstructed from the field
+        exactly, the same way the Manhattan oracle does it.
+        """
+        sy, sx = src
+        ty, tx = dst
+        L, ny, nx = self.layers, self.ny, self.nx
+        over = self.occupancy >= self.capacity
+        sq2 = math.sqrt(2.0)
+        # Entering-cost per cell and move class, matching the scalar
+        # search's ``step + over_cost`` evaluation order exactly.
+        w_card = np.where(over, 1.0 + OVERFLOW_COST, 1.0)
+        w_diag = np.where(over, sq2 + OVERFLOW_COST, sq2)
+        w_via = np.where(over, VIA_COST + OVERFLOW_COST,
+                         float(VIA_COST))
+        dist = np.full((L, ny, nx), np.inf)
+        dist[0, sy, sx] = 0.0
+        lateral = (((0, 1), w_card), ((0, -1), w_card),
+                   ((1, 0), w_card), ((-1, 0), w_card),
+                   ((1, 1), w_diag), ((1, -1), w_diag),
+                   ((-1, 1), w_diag), ((-1, -1), w_diag))
+
+        def _shift(dy: int, dx: int):
+            """dest/src slicing index pairs for a (dy, dx) move."""
+            d_y = slice(max(dy, 0), ny + min(dy, 0))
+            s_y = slice(max(-dy, 0), ny + min(-dy, 0))
+            d_x = slice(max(dx, 0), nx + min(dx, 0))
+            s_x = slice(max(-dx, 0), nx + min(-dx, 0))
+            return (slice(None), d_y, d_x), (slice(None), s_y, s_x)
+
+        slices = [(_shift(dy, dx), w) for (dy, dx), w in lateral]
+        for _ in range(L * ny * nx + 2):
+            nd = dist.copy()
+            for (di, si), w in slices:
+                np.minimum(nd[di], dist[si] + w[di], out=nd[di])
+            if L > 1:
+                np.minimum(nd[1:], dist[:-1] + w_via[1:], out=nd[1:])
+                np.minimum(nd[:-1], dist[1:] + w_via[:-1], out=nd[:-1])
+            if np.array_equal(nd, dist):
+                break
+            dist = nd
+        else:  # pragma: no cover — fixpoint is reached within n passes
+            raise RuntimeError("wavefront did not converge")
+
+        s = dist[0, ty, tx]
+        if not np.isfinite(s):
+            return None, 0
+        yy, xx = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        ay = np.abs(yy - ty)
+        ax = np.abs(xx - tx)
+        h = np.maximum(ay, ax) + 0.41421 * np.minimum(ay, ax)
+        f = dist + h[None, :, :]
+        # Expansions: pops strictly keyed before the goal, plus the goal.
+        # Key is (f, g, flat index); f == s ties with g == s have h == 0,
+        # i.e. the goal column, where the goal (layer 0) pops first.
+        n_before = (int(np.count_nonzero(f < s))
+                    + int(np.count_nonzero(f == s))
+                    - int(np.count_nonzero(f[:, ty, tx] == s)))
+        expansions = n_before + 1
+        if expansions > max_nodes:
+            return None, expansions
+        return self._wavefront_reconstruct(dist, h, over, sy, sx, ty,
+                                           tx), expansions
+
+    def _wavefront_reconstruct(self, dist: np.ndarray, h: np.ndarray,
+                               over: np.ndarray, sy: int, sx: int,
+                               ty: int, tx: int
+                               ) -> List[Tuple[int, int, int]]:
+        """Walk the wavefront field backwards along scalar prev links.
+
+        Among parents ``p`` with ``D[p] + w(p, cur) == D[cur]`` (exact
+        float compare — both sides are the same left-to-right path sum)
+        the scalar A*'s ``prev`` is the one finalized earliest, i.e.
+        with the smallest pop key ``(f, g, flat index)``.
+        """
+        L, ny, nx = self.layers, self.ny, self.nx
+        plane = ny * nx
+        sq2 = math.sqrt(2.0)
+        cl, cy, cx = 0, ty, tx
+        rev = [(0, ty, tx)]
+        while (cl, cy, cx) != (0, sy, sx):
+            enter = OVERFLOW_COST if over[cl, cy, cx] else 0.0
+            target = dist[cl, cy, cx]
+            cand = []
+            for dy, dx in ((0, 1), (0, -1), (1, 0), (-1, 0),
+                           (1, 1), (1, -1), (-1, 1), (-1, -1)):
+                py, px = cy - dy, cx - dx
+                if 0 <= py < ny and 0 <= px < nx:
+                    step = sq2 if (dy and dx) else 1.0
+                    cand.append((cl, py, px, step + enter))
+            if cl > 0:
+                cand.append((cl - 1, cy, cx, VIA_COST + enter))
+            if cl < L - 1:
+                cand.append((cl + 1, cy, cx, VIA_COST + enter))
+            best_key = None
+            best = None
+            for pl, py, px, w in cand:
+                dp = dist[pl, py, px]
+                if np.isfinite(dp) and dp + w == target:
+                    key = (dp + h[py, px], dp,
+                           pl * plane + py * nx + px)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = (pl, py, px)
+            if best is None:
+                raise RuntimeError("wavefront reconstruction found no "
+                                   "optimal parent")
+            cl, cy, cx = best
+            rev.append(best)
+        rev.reverse()
+        return rev
 
     def maze_route_scalar(self, src: Tuple[int, int],
                           dst: Tuple[int, int],
@@ -980,6 +1139,29 @@ class _DistanceFieldOracle:
         self.G = csr_array((self._data, self.indices32, self.indptr32),
                            shape=(n, n))
         self._slack_ema = 96.0  # running reroute-slack estimate
+        # Compiled dial-Dijkstra kernel (None → scipy sweeps).  The
+        # kernel owns int32 distance / done / bucket-link scratch, reset
+        # incrementally via the touched list between calls.
+        self._kernel = _load_maze_kernel()
+        if self._kernel is not None:
+            self._kdist = np.full(n, -1, dtype=np.int32)
+            self._kdone = np.zeros(n, dtype=np.uint8)
+            self._knxt = np.empty(n, dtype=np.int32)
+            self._kprv = np.empty(n, dtype=np.int32)
+            self._ktouched = np.empty(n, dtype=np.int32)
+            self._kout = np.empty(3, dtype=np.int64)
+            self._nt_prev = 0
+        # Exact result cache: (sy, sx, ty, tx) -> mutable entry
+        # [path, expansions, s, y0, y1, x0, x1, epoch, over_snapshot].
+        # An entry stays valid while the overflow flags inside its
+        # (y, x) bounding box — the search's finalized set plus a
+        # one-cell halo (see route()) — match the snapshot taken when
+        # it was solved; the epoch skips the comparison entirely when
+        # no flip batch has been patched since the entry was last seen.
+        self._results: Dict[Tuple[int, int, int, int], list] = {}
+        self._epoch = 0
+        self.fields_built = 0
+        self.fields_patched = 0
 
     def valid(self) -> bool:
         """Whether the cached graph still matches the cost constants."""
@@ -1010,20 +1192,95 @@ class _DistanceFieldOracle:
             self.data_cong[ids] = (self.base[ids] + self.over_cost
                                    * over_now[self.cols[ids]])
             self.over = over_now
+            self._epoch += 1
 
     def route(self, src: Tuple[int, int], dst: Tuple[int, int],
               max_nodes: int, cost_ub: Optional[float]
               ) -> Tuple[Optional[List[Tuple[int, int, int]]], int]:
-        """Exact maze result: (path or None, A* expansion count)."""
+        """Exact maze result: (path or None, A* expansion count).
+
+        Results are cached per (src, dst) pair and reused across the
+        maze calls of one RRR round: a fresh sweep records the bounding
+        box of its finalized set plus a one-cell halo and a snapshot of
+        the overflow flags inside it, and the cached (path, expansions)
+        stays exact while the box's current flags match the snapshot.
+        Soundness: the optimal path and every popped state lie in the
+        finalized set F, whose distances depend only on overflow flags
+        inside F ∪ N⁺(F) ⊆ box; and any path leaving F crosses the
+        frontier through in-box cells at cost > s, so no overflow state
+        outside the box can create a cheaper path or pull a new state
+        into the pop set.  Unreachable results (s = -1) never
+        invalidate — overflow changes weights, not connectivity.  The
+        node budget and cost bound only limit *work*, never the result,
+        so they are applied to the cached numbers on every hit.
+        """
         sy, sx = src
         ty, tx = dst
-        h0 = abs(sy - ty) + abs(sx - tx)
-        nx, L, n = self.nx, self.L, self.n
         self._refresh_congestion()
-        # One reweighting per call: shift every edge by the Manhattan
-        # heuristic delta toward this call's target, written in place
-        # into the persistent graph's data array.  Deepening attempts
-        # below reuse it and only re-run the C Dijkstra.
+        key = (sy, sx, ty, tx)
+        ent = self._results.get(key)
+        if ent is not None and self._entry_fresh(ent):
+            self.fields_patched += 1
+        else:
+            ent = self._solve(sy, sx, ty, tx, cost_ub)
+            self._results[key] = ent
+            self.fields_built += 1
+        path, expansions, s = ent[0], ent[1], ent[2]
+        if s < 0:
+            return None, 0
+        if expansions > max_nodes:
+            return None, expansions
+        return list(path), expansions
+
+    def _entry_fresh(self, ent: list) -> bool:
+        """Compare the entry's box snapshot against current overflow."""
+        if ent[7] != self._epoch:
+            if ent[2] < 0:
+                ent[7] = self._epoch  # unreachable: immune to reweights
+                return True
+            y0, y1, x0, x1 = ent[3], ent[4], ent[5], ent[6]
+            cur = self.over.reshape(self.ny, self.L, self.nx)[
+                y0:y1 + 1, :, x0:x1 + 1]
+            if not np.array_equal(cur, ent[8]):
+                return False
+            ent[7] = self._epoch
+        return True
+
+    def _solve(self, sy: int, sx: int, ty: int, tx: int,
+               cost_ub: Optional[float]) -> list:
+        """Run one exact sweep and package it as a cache entry."""
+        nx, L, ny = self.nx, self.L, self.ny
+        nxL = nx * L
+        epoch = self._epoch
+        start = (sy * L) * nx + sx
+        goal = (ty * L) * nx + tx
+        if self._kernel is not None:
+            s, nfin = self._kernel_sweep(start, ty, tx)
+            if s < 0:
+                return [None, 0, -1, 0, 0, 0, 0, epoch, None]
+            Dp = self._kdist
+            # The dial drains the goal's whole distance level before
+            # stopping, so the finalized set is exactly {Dp <= s} and
+            # nfin already equals count(Dp < s) + count(Dp == s).
+            goal_col = Dp[ty * nxL + tx::nx][:L]
+            expansions = nfin - int(np.count_nonzero(goal_col == s)) + 1
+            self._slack_ema += 0.125 * (float(s) - self._slack_ema)
+            path = self._reconstruct(Dp, sy, sx, ty, tx)
+            # Touched = finalized ∪ frontier = F ∪ N⁺(F): exactly the
+            # sensitivity region (the ±1 halo is belt and braces).
+            t = self._ktouched[:self._nt_prev]
+            ys = t // nxL
+            xs = t % nx
+            return self._entry(path, expansions, int(s),
+                               max(int(ys.min()) - 1, 0),
+                               min(int(ys.max()) + 1, ny - 1),
+                               max(int(xs.min()) - 1, 0),
+                               min(int(xs.max()) + 1, nx - 1), epoch)
+        # scipy fallback: reweight every edge by the Manhattan heuristic
+        # delta toward this call's target, written in place into the
+        # persistent graph's data array; deepening attempts reuse it and
+        # only re-run the C Dijkstra.
+        h0 = abs(sy - ty) + abs(sx - tx)
         a, b = self._ibuf_a, self._ibuf_b
         np.subtract(self.xc, tx, out=a)
         np.abs(a, out=a)
@@ -1038,49 +1295,69 @@ class _DistanceFieldOracle:
         a -= b
         np.add(self.data_cong, a, out=self._data)
         G = self.G
-        start = (sy * L) * nx + sx
-        goal = (ty * L) * nx + tx
+        Dp = None
         if cost_ub is not None:
             lim = max(0.0, float(cost_ub) - h0)
             attempt = min(lim, max(32.0, 1.2 * self._slack_ema))
             while True:
                 Dp = _csgraph_dijkstra(G, directed=True, indices=start,
                                        min_only=True, limit=attempt)
-                solved = self._finish(Dp, sy, sx, ty, tx, max_nodes)
-                if solved is not None:
-                    return solved
+                if np.isfinite(Dp[goal]):
+                    break
                 if attempt >= lim:
                     # Bad bound (should not happen for a rippable
                     # net): fall through to the unbounded solve.
+                    Dp = None
                     break
                 attempt = min(lim, attempt * 2.0)
-        Dp = _csgraph_dijkstra(G, directed=True, indices=start,
-                               min_only=True)
-        return self._finish(Dp, sy, sx, ty, tx, max_nodes) or (None, 0)
-
-    def _finish(self, Dp: np.ndarray, sy: int, sx: int, ty: int,
-                tx: int, max_nodes: int
-                ) -> Optional[Tuple[Optional[List[Tuple[int, int, int]]],
-                                    int]]:
-        """Count expansions and reconstruct; None if goal not reached."""
-        nx, L = self.nx, self.L
-        nxL = nx * L
-        goal = (ty * L) * nx + tx
+        if Dp is None:
+            Dp = _csgraph_dijkstra(G, directed=True, indices=start,
+                                   min_only=True)
         s = Dp[goal]
         if not np.isfinite(s):
-            return None
+            return [None, 0, -1, 0, 0, 0, 0, epoch, None]
         self._slack_ema += 0.125 * (float(s) - self._slack_ema)
         # Expansions = finalized states popped up to and including the
         # goal.  The goal's zero-heuristic column ((l, ty, tx) states)
         # ties the goal key in f and g but never precedes it in index.
+        fin = Dp <= s
         goal_col = Dp[ty * nxL + tx::nx][:L]
-        n_before = (int(np.count_nonzero(Dp < s))
-                    + int(np.count_nonzero(Dp == s))
+        n_before = (int(np.count_nonzero(fin))
                     - int(np.count_nonzero(goal_col == s)))
         expansions = n_before + 1
-        if expansions > max_nodes:
-            return None, expansions
-        return self._reconstruct(Dp, sy, sx, ty, tx), expansions
+        path = self._reconstruct(Dp, sy, sx, ty, tx)
+        m = fin.reshape(ny, L, nx)
+        yr = np.nonzero(m.any(axis=(1, 2)))[0]
+        xr = np.nonzero(m.any(axis=(0, 1)))[0]
+        return self._entry(path, expansions, int(s),
+                           max(int(yr[0]) - 1, 0),
+                           min(int(yr[-1]) + 1, ny - 1),
+                           max(int(xr[0]) - 1, 0),
+                           min(int(xr[-1]) + 1, nx - 1), epoch)
+
+    def _entry(self, path, expansions, s, y0, y1, x0, x1, epoch) -> list:
+        """Package a solved sweep with its box's overflow snapshot."""
+        snap = self.over.reshape(self.ny, self.L, self.nx)[
+            y0:y1 + 1, :, x0:x1 + 1].copy()
+        return [path, expansions, s, y0, y1, x0, x1, epoch, snap]
+
+    def _kernel_sweep(self, start: int, ty: int, tx: int
+                      ) -> Tuple[int, int]:
+        """One dial-Dijkstra sweep; returns (goal distance, finalized)."""
+        i32p = ctypes.POINTER(ctypes.c_int32)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        self._kernel(
+            self.over.view(np.uint8).ctypes.data_as(u8p),
+            self._kdist.ctypes.data_as(i32p),
+            self._kdone.ctypes.data_as(u8p),
+            self._knxt.ctypes.data_as(i32p),
+            self._kprv.ctypes.data_as(i32p),
+            self._ktouched.ctypes.data_as(i32p),
+            self._nt_prev, self.n, self.L, self.ny, self.nx,
+            start, ty, tx, self.via, self.over_cost,
+            self._kout.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)))
+        self._nt_prev = int(self._kout[2])
+        return int(self._kout[0]), int(self._kout[1])
 
     def _reconstruct(self, Dp: np.ndarray, sy: int, sx: int, ty: int,
                      tx: int) -> List[Tuple[int, int, int]]:
@@ -1125,6 +1402,8 @@ class _DistanceFieldOracle:
             best_key = None
             best = None
             for p, w, pl, py, px in cand:
+                if Dp[p] < 0:  # int32 fields mark unreached as -1
+                    continue
                 hp = abs(py - ty) + abs(px - tx)
                 if Dp[p] - hp + w == target:
                     key = (Dp[p], Dp[p] - hp,
@@ -1347,6 +1626,7 @@ def route_interposer(placement: InterposerPlacement,
 
     # ---- phase 2: rip-up and reroute overflowing nets ------------------ #
     t0 = time.perf_counter()
+    maze_node_counts: List[int] = []
     for _round in range(RRR_ROUNDS if routed else 0):
         # One batched gather over every routed cell replaces the
         # per-net path_overflows scans: segment-reduce the strict
@@ -1380,6 +1660,7 @@ def route_interposer(placement: InterposerPlacement,
             stats.maze_calls += 1
             stats.nets_rerouted += 1
             stats.maze_nodes += nodes
+            maze_node_counts.append(nodes)
             if path is None:
                 stats.maze_fallbacks += 1
                 path = net.path  # keep the pattern route
@@ -1391,6 +1672,15 @@ def route_interposer(placement: InterposerPlacement,
                 net.name, net.kind, path, li, yi, xi, grid.cell_um)
             paths[net.name] = (flat, li, yi, xi)
     stats.rrr_time_s = time.perf_counter() - t0
+    if maze_node_counts:
+        stats.maze_nodes_per_call_p50 = float(
+            np.percentile(maze_node_counts, 50))
+        stats.maze_nodes_per_call_p99 = float(
+            np.percentile(maze_node_counts, 99))
+    oracle = grid._oracle
+    if oracle is not None:
+        stats.fields_built = oracle.fields_built
+        stats.fields_patched = oracle.fields_patched
     if stats.maze_fallbacks:
         _LOG.warning(
             "interposer %s: %d of %d maze reroutes failed (node budget "

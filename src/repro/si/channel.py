@@ -200,15 +200,28 @@ def _simulate_delay_power(channel: Channel, frequency_hz: float,
     return delay_ps, p_uw
 
 
+#: Memoized pads-only reference measurements.  The reference depends
+#: only on the driver parasitics, swing, and timebase — not on the
+#: channel's interconnect — so the l2m and l2l channels of one design
+#: (and every design sharing the AIB driver) reuse one simulation.
+_PADS_REF_CACHE: dict = {}
+
+
 def _pads_only_reference(channel: Channel, frequency_hz: float,
                          dt: float) -> Tuple[float, float]:
     """Delay/power of the same driver into pads only (for de-embedding)."""
     from ..tech.interconnect3d import LumpedRLC as _RLC
-    ref = Channel(name=f"{channel.name}/pads", driver=channel.driver,
-                  lumped=_RLC(resistance_ohm=1e-4, inductance_h=1e-14,
-                              capacitance_f=0.0),
-                  vdd=channel.vdd)
-    return _simulate_delay_power(ref, frequency_hz, dt)
+    key = (channel.driver.output_impedance_ohm, channel.driver.pad_cap_ff,
+           channel.driver.rx_input_cap_ff, channel.vdd, frequency_hz, dt)
+    hit = _PADS_REF_CACHE.get(key)
+    if hit is None:
+        ref = Channel(name=f"{channel.name}/pads", driver=channel.driver,
+                      lumped=_RLC(resistance_ohm=1e-4, inductance_h=1e-14,
+                                  capacitance_f=0.0),
+                      vdd=channel.vdd)
+        hit = _simulate_delay_power(ref, frequency_hz, dt)
+        _PADS_REF_CACHE[key] = hit
+    return hit
 
 
 def _first_crossing(time: np.ndarray, wave: np.ndarray,

@@ -79,17 +79,23 @@ def fold_eye(time: np.ndarray, wave: np.ndarray, bits: Sequence[int],
     high_min = np.full(samples_per_ui, np.nan)
     low_max = np.full(samples_per_ui, np.nan)
     phases = np.arange(samples_per_ui) / samples_per_ui * bit_period
-    for i, b in enumerate(bits):
-        t0 = i * bit_period + latency
-        sample_t = t0 + phases
-        idx = np.round(sample_t / dt).astype(int)
-        if idx[-1] >= len(wave):
-            break
-        v = wave[idx]
-        if b:
-            high_min = np.fmin(high_min, v)
-        else:
-            low_max = np.fmax(low_max, v)
+    bit_arr = np.asarray(bits, dtype=bool)
+    # One gather for every (bit, phase) sample; folding with fmin/fmax
+    # reductions is associative, so the envelopes are bit-identical to
+    # the per-bit loop this replaces.
+    starts = np.arange(len(bit_arr)) * bit_period + latency
+    idx = np.round((starts[:, None] + phases[None, :]) / dt).astype(int)
+    if len(bit_arr):
+        bad = idx[:, -1] >= len(wave)
+        stop = int(np.argmax(bad)) if bad.any() else len(bit_arr)
+        idx = idx[:stop]
+        bit_arr = bit_arr[:stop]
+    if len(bit_arr):
+        traces = wave[idx]
+        if bit_arr.any():
+            high_min = np.fmin.reduce(traces[bit_arr], axis=0)
+        if not bit_arr.all():
+            low_max = np.fmax.reduce(traces[~bit_arr], axis=0)
     return high_min, low_max
 
 

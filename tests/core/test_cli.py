@@ -89,6 +89,21 @@ class TestSweepCli:
                      str(out_dir), "--resume"]) == 0
         assert len(points.read_text().splitlines()) == 2
 
+    def test_sweep_profile_writes_dumps(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        space = tmp_path / "space.yaml"
+        space.write_text(SPACE_YAML)
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(tmp_path / "sweep"), "--profile"])
+        assert rc == 0
+        pstats_path = (tmp_path / "results"
+                       / "profile_sweep_cli-smoke.pstats")
+        assert pstats_path.exists()
+        summary = tmp_path / "results" / "profile_sweep_cli-smoke.txt"
+        assert "cumulative" in summary.read_text()
+        assert "profile:" in capsys.readouterr().err
+
     def test_sweep_requires_space(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
