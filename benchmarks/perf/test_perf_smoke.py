@@ -6,13 +6,14 @@ Three jobs:
   wall times (plus the router's phase stats and the circuit-solver
   counters) to ``results/BENCH_flow.json`` so stage-level regressions
   show up in review diffs.
-* Gate the interposer routing stage (``flow_routing_s``) and its maze
-  phase (``flow_maze_s``) against the recorded baselines (fail past
-  ``REGRESSION_FACTOR``).
+* Gate the interposer routing stage (``flow_routing_s``), its maze
+  phase (``flow_maze_s``), and the eye stage (``flow_eyes_s``) against
+  the recorded baselines (fail past ``REGRESSION_FACTOR``).
 * Gate the flow's LU factorization count (``flow_mna_factorizations``)
-  — a *count*, not a time, so any change that silently drops the AC
-  engine off its block-factorized path fails deterministically on every
-  machine.
+  and DC/AC solve count (``flow_mna_solves``) — *counts*, not times, so
+  any change that silently drops the AC engine off its block-factorized
+  path or the eye engine off its superposition path fails
+  deterministically on every machine.
 * Time the transient engine on a fixed PDN-style circuit and fail if it
   runs more than ``REGRESSION_FACTOR`` slower than the recorded baseline
   in ``baseline.json``.  Re-record with ``REPRO_PERF_REBASE=1`` after an
@@ -75,7 +76,12 @@ def _time_simulate() -> float:
 @pytest.fixture(scope="module")
 def flow_run():
     """One small design end to end, shared by the flow-level checks."""
+    from repro.si.channel import _CHANNEL_SIM_CACHE, _PADS_REF_CACHE
     clear_cache()
+    # Cold channel memos so the solver counts are deterministic
+    # regardless of what ran earlier in this process.
+    _CHANNEL_SIM_CACHE.clear()
+    _PADS_REF_CACHE.clear()
     t0 = time.perf_counter()
     result = run_design("glass_25d", scale=0.02, seed=7, use_cache=False)
     wall = time.perf_counter() - t0
@@ -165,6 +171,31 @@ def test_maze_phase_not_regressed(flow_run):
     assert elapsed <= baseline * REGRESSION_FACTOR, (
         f"maze phase took {elapsed:.4f}s vs baseline {baseline:.4f}s "
         f"(>{REGRESSION_FACTOR}x regression)")
+
+
+def test_eye_stage_not_regressed(flow_run):
+    """The eye stage — this PR's headline speedup — gets its own time
+    gate so a regression there cannot hide inside total wall time."""
+    result, _ = flow_run
+    elapsed = result.stage_times["eyes"]
+    baseline = _gate_or_rebase("flow_eyes_s", elapsed)
+    assert elapsed <= baseline * REGRESSION_FACTOR, (
+        f"eye stage took {elapsed:.4f}s vs baseline {baseline:.4f}s "
+        f"(>{REGRESSION_FACTOR}x regression)")
+
+
+def test_mna_solve_count_gated(flow_run):
+    """DC/AC back-substitutions are a deterministic *count*: any change
+    that knocks the eye engine off its superposition path (or the AC
+    engine off its multi-RHS path) shows up as a solve-count explosion
+    on every machine, independent of clock speed."""
+    result, _ = flow_run
+    assert result.solver_stats is not None
+    count = result.solver_stats["mna_solves"]
+    baseline = _gate_or_rebase("flow_mna_solves", count, digits=0)
+    assert count <= baseline, (
+        f"flow performed {count} DC/AC solves vs the recorded "
+        f"{baseline} — a vectorized solve path lost coverage")
 
 
 def test_mna_factorization_count_gated(flow_run):

@@ -160,7 +160,27 @@ def _run_profiled(names, args):
             fh.write(buf.getvalue())
         print(f"profile: {pstats_path} (+ top-25 summary {txt_path})",
               file=sys.stderr)
+        _print_solver_table(name, results[name])
     return results
+
+
+def _print_solver_table(name, result) -> None:
+    """Print the per-stage solver-counter breakdown of a profiled run."""
+    stats = result.stage_solver_stats
+    if not stats:
+        return
+    counters = ["mna_factorizations", "mna_solves",
+                "transient_factorizations", "transient_solves",
+                "robust_fallbacks"]
+    rows = [[stage] + [per_stage.get(c, 0) for c in counters]
+            for stage, per_stage in stats.items()]
+    if result.solver_stats:
+        rows.append(["total"] + [result.solver_stats.get(c, 0)
+                                 for c in counters])
+    print(format_table(
+        ["stage", "mna fact", "mna solve", "tran fact", "tran solve",
+         "fallbacks"],
+        rows, title=f"{name}: solver counters per stage"))
 
 
 def sweep_main(argv) -> int:

@@ -32,15 +32,22 @@ from .elements import Circuit, is_ground
 _LOG = logging.getLogger(__name__)
 
 #: Process-wide solver observability counters.  ``mna_factorizations``
-#: counts LU factorizations (a block factorization covering a whole
-#: sweep counts once — that is the point), ``mna_solves`` counts
-#: (system, right-hand-side) pairs solved, and ``robust_fallbacks``
-#: counts singular systems that fell back to least squares.  Flows
-#: call :func:`reset_solver_counters` per run and snapshot the totals
-#: into their diagnostics.
+#: counts DC/AC LU factorizations (a block factorization covering a
+#: whole sweep counts once — that is the point), ``mna_solves`` counts
+#: DC/AC (system, right-hand-side) pairs solved, and
+#: ``robust_fallbacks`` counts singular systems that fell back to least
+#: squares.  ``transient_factorizations``/``transient_solves`` are the
+#: same two quantities for the trapezoidal transient engine (see
+#: :class:`repro.circuit.transient.TransientBlockFactor`): one cached
+#: companion-matrix LU per (topology, dt), one solve per (block,
+#: column) back-substitution per step.  Flows call
+#: :func:`reset_solver_counters` per run and snapshot the totals into
+#: their diagnostics.
 SOLVER_COUNTERS: Dict[str, int] = {
     "mna_factorizations": 0,
     "mna_solves": 0,
+    "transient_factorizations": 0,
+    "transient_solves": 0,
     "robust_fallbacks": 0,
 }
 
@@ -182,6 +189,12 @@ class CircuitStamps:
                                    or circuit.mutuals)
         #: Frequency-grid-keyed cache of AC block factorizations.
         self._ac_factors: Dict[bytes, Optional["AcBlockFactor"]] = {}
+        #: Timestep-keyed cache of transient companion-matrix LUs (see
+        #: :func:`repro.circuit.transient.transient_block_factor`).
+        self._transient_factors: Dict[bytes, object] = {}
+        #: (dt, record)-keyed cache of pulse-response banks (see
+        #: :func:`repro.circuit.transient.pulse_response_bank`).
+        self._pulse_banks: Dict[tuple, object] = {}
 
         # Element index arrays for vectorized RHS assembly / recording.
         self.vsrc_rows = np.arange(st.vsrc_offset,

@@ -20,15 +20,44 @@ incidence matrices, the state update is pure array arithmetic, and
 recording is fancy indexing.  A straightforward per-element reference
 implementation is kept as :func:`simulate_scalar`; equivalence between
 the two is covered by golden tests.
+
+Three batching layers sit on top of the single-circuit engine:
+
+* :class:`TransientBlockFactor` — one dense LU covering the companion
+  matrices of several circuits at one timestep (the transient twin of
+  :class:`~repro.circuit.mna.AcBlockFactor`).
+* :func:`simulate_batch` — steps any number of circuits through one
+  shared block LU: one factorization and one multi-block
+  back-substitution per step instead of one factorization per circuit.
+  A batch of one is operation-for-operation the historical
+  single-circuit loop (bit-identical); larger batches agree with
+  per-circuit runs to machine precision but not bitwise — LAPACK
+  selects different kernel blockings for different system sizes — so
+  callers that pin byte-stable outputs (the flow's channel stage, the
+  sweep stores) must keep using per-circuit :func:`simulate`.
+* :func:`pulse_response_bank` — for a linear circuit, one multi-column
+  run computes every source's Kronecker-delta response and unit-DC-init
+  relaxation response; :meth:`PulseResponseBank.synthesize` then
+  reconstructs the response to *arbitrary* source waveforms by discrete
+  convolution, with no further stepping.  Banks are cached on the
+  circuit's stamp structure keyed by (dt, recorded nodes), exactly like
+  the AC block factors.
+
+Transient LU factorizations and per-step back-substitutions are counted
+under ``transient_factorizations``/``transient_solves`` in
+:data:`~repro.circuit.mna.SOLVER_COUNTERS`; ``mna_*`` stays reserved
+for DC and AC solves.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.linalg
+import scipy.signal
 
 from .elements import Circuit
 from .mna import (SOLVER_COUNTERS, CircuitStamps, MnaStructure, Solution,
@@ -95,6 +124,247 @@ def _recording_plan(circuit: Circuit, st: MnaStructure,
     return node_names, node_idx, cur_names, cur_rows
 
 
+def circuit_is_linear(circuit: Circuit) -> bool:
+    """Whether every element of a circuit is in the linear MNA set.
+
+    The stock :class:`Circuit` carries only linear elements, so this is
+    trivially true today; the check guards the superposition fast paths
+    (:func:`pulse_response_bank` and its users) against future
+    nonlinear additions — a subclass that grows a ``nonlinear_elements``
+    list, or one whose ``element_count`` includes element kinds the MNA
+    stamps don't know about, falls back to full stepping.
+    """
+    if getattr(circuit, "nonlinear_elements", None):
+        return False
+    known = (len(circuit.resistors) + len(circuit.capacitors)
+             + len(circuit.inductors) + len(circuit.mutuals)
+             + len(circuit.vsources) + len(circuit.isources)
+             + len(circuit.vcvs))
+    return circuit.element_count() == known
+
+
+class TransientBlockFactor:
+    """One dense LU covering the trapezoidal systems of several circuits.
+
+    The transient twin of :class:`~repro.circuit.mna.AcBlockFactor`:
+    the companion matrices ``G_i + (2/dt) B_i`` of all circuits are
+    stacked block-diagonally and factored once, so a batch of channels
+    sharing one timestep pays one factorization and one multi-block
+    back-substitution per step.  Partial pivoting never crosses a block
+    boundary (the off-block candidates are exactly zero), so each
+    block's solution matches a per-circuit solve to machine precision —
+    but not bitwise, because LAPACK picks different kernel blockings
+    for different system sizes.  Byte-stability-pinned callers stay on
+    per-circuit solves; equivalence is covered at 1e-9 by tests.
+
+    Single-circuit factors are cached per (topology, dt) through
+    :func:`transient_block_factor`; multi-circuit factors are built per
+    batch.
+    """
+
+    def __init__(self, stamps_list: Sequence[CircuitStamps], dt: float):
+        if not stamps_list:
+            raise ValueError("need at least one circuit to factor")
+        self.dt = float(dt)
+        self.sizes = [s.structure.size for s in stamps_list]
+        self.n_blocks = len(stamps_list)
+        if self.n_blocks == 1:
+            A = stamps_list[0].transient_matrix(dt)
+        else:
+            A = scipy.linalg.block_diag(
+                *[s.transient_matrix(dt) for s in stamps_list])
+        #: Raw ``lu_factor`` pair for hot loops that bulk-count solves.
+        self.lu = scipy.linalg.lu_factor(A)
+        SOLVER_COUNTERS["transient_factorizations"] += 1
+
+    def solve(self, Z: np.ndarray) -> np.ndarray:
+        """Back-substitute stacked right-hand sides (counts per block)."""
+        x = scipy.linalg.lu_solve(self.lu, Z)
+        n_rhs = 1 if Z.ndim == 1 else Z.shape[1]
+        SOLVER_COUNTERS["transient_solves"] += self.n_blocks * n_rhs
+        return x
+
+
+def transient_block_factor(circuit: Circuit,
+                           dt: float) -> TransientBlockFactor:
+    """The cached companion-matrix LU of one circuit at one timestep.
+
+    Cached on the circuit's :class:`CircuitStamps` keyed by the exact
+    timestep (like the AC factors are keyed by the frequency grid), so
+    repeated transient runs of one topology — the full eye stepping,
+    the pulse-response bank, a fallback after a bank miss — share one
+    factorization.
+    """
+    stamps = CircuitStamps.of(circuit)
+    if stamps.structure.size == 0:
+        raise ValueError("cannot simulate an empty circuit")
+    key = np.float64(dt).tobytes()
+    hit = stamps._transient_factors.get(key)
+    if hit is None:
+        hit = TransientBlockFactor([stamps], dt)
+        stamps._transient_factors[key] = hit
+    return hit
+
+
+class _TransientSystem:
+    """Per-circuit stepping state inside a (possibly batched) run.
+
+    Holds exactly the arrays the single-circuit vectorized engine used,
+    so the one-circuit batch is operation-for-operation identical to
+    the historical ``simulate`` loop.
+    """
+
+    def __init__(self, circuit: Circuit, dt: float, steps: int,
+                 record: Optional[Sequence[str]],
+                 record_currents: Optional[Sequence[str]],
+                 use_ic: bool):
+        stamps = CircuitStamps.of(circuit)
+        st = stamps.structure
+        if st.size == 0:
+            raise ValueError("cannot simulate an empty circuit")
+        self.stamps = stamps
+        self.size = st.size
+        self.n_cap = len(circuit.capacitors)
+        self.n_ind = len(circuit.inductors)
+        self.n_vsrc = len(circuit.vsources)
+        self.n_isrc = len(circuit.isources)
+
+        # Batched source sampling over the full time grid.
+        times = np.arange(steps) * dt
+        self.vsrc_samples = stamps.sample_waveforms(stamps.vsrc_waves,
+                                                    times)
+        self.isrc_samples = (stamps.sample_waveforms(stamps.isrc_waves,
+                                                     times)
+                             if self.n_isrc else None)
+
+        # Initial state.
+        if use_ic:
+            x = _robust_solve(stamps.dc_matrix(), stamps.source_rhs(0.0))
+        else:
+            x = np.zeros(self.size)
+        self.cap_g = 2.0 * stamps.cap_c / dt
+        self.ind_g = 2.0 * stamps.ind_l / dt
+        self.mut_g = (stamps.mutual_pattern * (2.0 / dt)
+                      if stamps.mutual_pattern is not None else None)
+        self.cap_v = stamps.cap_diff @ x
+        self.cap_i = np.zeros(self.n_cap)
+        self.ind_i = x[st.ind_offset:st.ind_offset + self.n_ind].copy()
+        self.ind_v = np.zeros(self.n_ind)
+
+        # Recording.  Ground (-1) indices read the guaranteed-zero slot
+        # past the end of the augmented solution vector.
+        node_names, node_idx, cur_names, cur_rows = _recording_plan(
+            circuit, st, record, record_currents)
+        self.node_names = node_names
+        self.cur_names = cur_names
+        self.rec_idx = np.array([self.size if k < 0 else k
+                                 for k in node_idx], dtype=int)
+        self.cur_idx = np.array(cur_rows, dtype=int)
+        self.xa = np.zeros(self.size + 1)
+        self.v_out = np.zeros((steps, len(node_idx)))
+        self.i_out = np.zeros((steps, len(cur_rows)))
+        self.xa[:self.size] = x
+        self.v_out[0] = self.xa[self.rec_idx]
+        self.i_out[0] = x[self.cur_idx]
+
+    def rhs(self, step: int) -> np.ndarray:
+        """The trapezoidal RHS for one step (sources + history terms)."""
+        stamps = self.stamps
+        z = np.zeros(self.size)
+        if self.n_vsrc:
+            z[stamps.vsrc_rows] = self.vsrc_samples[:, step]
+        if self.n_isrc:
+            z += stamps.isrc_incidence @ self.isrc_samples[:, step]
+        if self.n_cap:
+            z += stamps.cap_incidence @ (self.cap_g * self.cap_v
+                                         + self.cap_i)
+        if self.n_ind:
+            zl = -self.ind_g * self.ind_i - self.ind_v
+            if self.mut_g is not None:
+                zl += self.mut_g @ self.ind_i
+            z[stamps.ind_rows] = zl
+        return z
+
+    def update(self, x: np.ndarray, step: int) -> None:
+        """Advance companion-model state and record one solved step."""
+        st = self.stamps.structure
+        if self.n_cap:
+            v_new = self.stamps.cap_diff @ x
+            self.cap_i = self.cap_g * (v_new - self.cap_v) - self.cap_i
+            self.cap_v = v_new
+        if self.n_ind:
+            self.ind_v = self.stamps.ind_diff @ x
+            self.ind_i = x[st.ind_offset:st.ind_offset
+                           + self.n_ind].copy()
+        self.xa[:self.size] = x
+        self.v_out[step] = self.xa[self.rec_idx]
+        self.i_out[step] = x[self.cur_idx]
+
+    def result(self, times: np.ndarray) -> TransientResult:
+        return TransientResult(
+            time=times,
+            voltages={n: self.v_out[:, c]
+                      for c, n in enumerate(self.node_names)},
+            vsource_currents={n: self.i_out[:, c]
+                              for c, n in enumerate(self.cur_names)})
+
+
+def simulate_batch(circuits: Sequence[Circuit], t_stop: float, dt: float,
+                   records: Optional[Sequence[Optional[Sequence[str]]]]
+                   = None,
+                   record_currents:
+                   Optional[Sequence[Optional[Sequence[str]]]] = None,
+                   use_ic: bool = True) -> List[TransientResult]:
+    """Step several circuits together through one block LU.
+
+    All circuits share the timebase (``t_stop``, ``dt``) and initial-
+    condition mode; per-circuit record lists line up with ``circuits``
+    (``None`` entries record every node of that circuit).  Each step
+    concatenates the per-circuit RHS vectors and performs one
+    multi-block back-substitution: one LU and one solve stream for the
+    whole batch.  Results match per-circuit :func:`simulate` runs to
+    machine precision (bitwise for a batch of one; see
+    :class:`TransientBlockFactor` for why larger batches differ in the
+    last ulp).
+    """
+    if dt <= 0 or t_stop <= dt:
+        raise ValueError("need 0 < dt < t_stop")
+    if not circuits:
+        return []
+    n = len(circuits)
+    recs = list(records) if records is not None else [None] * n
+    curs = (list(record_currents) if record_currents is not None
+            else [None] * n)
+    if len(recs) != n or len(curs) != n:
+        raise ValueError("records/record_currents must line up with "
+                         "circuits")
+    steps = int(round(t_stop / dt)) + 1
+    systems = [_TransientSystem(c, dt, steps, r, rc, use_ic)
+               for c, r, rc in zip(circuits, recs, curs)]
+    if n == 1:
+        factor = transient_block_factor(circuits[0], dt)
+    else:
+        factor = TransientBlockFactor([s.stamps for s in systems], dt)
+    lu = factor.lu
+    times = np.arange(steps) * dt
+    lu_solve = scipy.linalg.lu_solve
+    if n == 1:
+        system = systems[0]
+        for step in range(1, steps):
+            system.update(lu_solve(lu, system.rhs(step)), step)
+    else:
+        bounds = np.concatenate([[0], np.cumsum(factor.sizes)])
+        slices = [slice(int(bounds[k]), int(bounds[k + 1]))
+                  for k in range(n)]
+        for step in range(1, steps):
+            Z = np.concatenate([s.rhs(step) for s in systems])
+            X = lu_solve(lu, Z)
+            for s, sl in zip(systems, slices):
+                s.update(X[sl], step)
+    SOLVER_COUNTERS["transient_solves"] += n * (steps - 1)
+    return [s.result(times) for s in systems]
+
+
 def simulate(circuit: Circuit, t_stop: float, dt: float,
              record: Optional[Sequence[str]] = None,
              record_currents: Optional[Sequence[str]] = None,
@@ -114,96 +384,281 @@ def simulate(circuit: Circuit, t_stop: float, dt: float,
     Returns:
         A :class:`TransientResult` with one sample per step including t=0.
     """
-    if dt <= 0 or t_stop <= dt:
-        raise ValueError("need 0 < dt < t_stop")
-    steps = int(round(t_stop / dt)) + 1
+    return simulate_batch([circuit], t_stop, dt, records=[record],
+                          record_currents=[record_currents],
+                          use_ic=use_ic)[0]
+
+
+# --------------------------------------------------------------------- #
+# Pulse-response superposition.
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class PulseResponseBank:
+    """Per-source responses that determine every waveform of a circuit.
+
+    With a fixed timestep the trapezoidal engine is a discrete linear
+    time-invariant system, so its output at the recorded nodes is fully
+    determined by, per source ``s`` (v-sources first, then i-sources):
+
+    * ``impulse_resp[:, :, s]`` — the response to a Kronecker delta
+      (source value 1 at step 1, 0 elsewhere, zero initial state);
+    * ``init_resp[:, :, s]`` — the relaxation from the DC operating
+      point of a unit value on that source, with all inputs zero from
+      step 1 on (this carries the engine's ``use_ic`` start exactly).
+
+    Both are truncated at ``length`` samples, where the internal state
+    of every column has decayed below ``settle_tol`` of its running
+    peak — beyond that point the responses contribute at most
+    ``steps * settle_tol`` of the peak, far below the 1e-9 equivalence
+    budget.  ``settled`` is False when the horizon ran out first; in
+    that case :meth:`synthesize` is exact only up to ``length`` steps
+    and callers should fall back to full stepping.
+    """
+
+    dt: float
+    length: int
+    settled: bool
+    node_names: Tuple[str, ...]
+    n_sources: int
+    init_resp: np.ndarray
+    impulse_resp: np.ndarray
+
+    def synthesize(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
+        """Reconstruct the recorded waveforms for arbitrary sources.
+
+        Args:
+            samples: Source waveforms sampled on the bank's time grid,
+                shape ``(n_sources, steps)``, ordered v-sources first
+                then i-sources (the :class:`CircuitStamps` order).
+
+        Returns:
+            node name → waveform of length ``steps``, matching a full
+            trapezoidal run with ``use_ic=True`` to within the
+            truncation tolerance (exactly, in real arithmetic).
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[0] != self.n_sources:
+            raise ValueError(
+                f"need samples of shape ({self.n_sources}, steps), got "
+                f"{samples.shape}")
+        steps = samples.shape[1]
+        if not self.settled and steps > self.length:
+            raise ValueError(
+                f"bank horizon ({self.length} steps) never settled and "
+                f"is shorter than the requested {steps} steps")
+        n_rec = len(self.node_names)
+        out = np.zeros((steps, n_rec))
+        head = min(self.length, steps)
+        for s in range(self.n_sources):
+            w = samples[s]
+            # DC-init relaxation, scaled by the t=0 source value.
+            out[:head] += w[0] * self.init_resp[:head, :, s]
+            # Impulse convolution over the steps>=1 source samples;
+            # long bank/input pairs go through FFT convolution (error
+            # ~1e-13 of full scale, far inside the 1e-9 budget).
+            hh = self.impulse_resp[1:self.length, :, s]
+            if steps > 1 and hh.shape[0]:
+                if (steps - 1) * hh.shape[0] > (1 << 21):
+                    acc = scipy.signal.fftconvolve(w[1:, None], hh,
+                                                   axes=0)
+                    out[1:] += acc[:steps - 1]
+                else:
+                    for r in range(n_rec):
+                        out[1:, r] += np.convolve(w[1:],
+                                                  hh[:, r])[:steps - 1]
+        return {name: np.ascontiguousarray(out[:, r])
+                for r, name in enumerate(self.node_names)}
+
+
+def pulse_response_bank(circuit: Circuit, dt: float, max_steps: int,
+                        record: Sequence[str],
+                        settle_tol: float = 1e-15
+                        ) -> Optional[PulseResponseBank]:
+    """The cached pulse-response bank of a circuit, or ``None``.
+
+    Returns ``None`` when the circuit is not linear (see
+    :func:`circuit_is_linear`) or its DC system is singular — callers
+    then fall back to full stepping, whose robust DC solve counts and
+    warns properly.  Banks are cached on the circuit's stamp structure
+    keyed by (dt, recorded nodes), like the AC block factors; a cached
+    unsettled bank is rebuilt when a longer horizon is requested.
+    """
+    if not circuit_is_linear(circuit):
+        return None
     stamps = CircuitStamps.of(circuit)
+    if stamps.structure.size == 0:
+        return None
+    key = (np.float64(dt).tobytes(), tuple(record))
+    cache = stamps._pulse_banks
+    if key in cache:
+        bank = cache[key]
+        if bank is None or bank.settled or bank.length >= max_steps:
+            return bank
+    bank = _build_pulse_bank(circuit, stamps, dt, max_steps, record,
+                             settle_tol)
+    cache[key] = bank
+    return bank
+
+
+def _build_pulse_bank(circuit: Circuit, stamps: CircuitStamps, dt: float,
+                      max_steps: int, record: Sequence[str],
+                      settle_tol: float) -> Optional[PulseResponseBank]:
+    """Propagate all delta/init responses through the reduced state map.
+
+    The trapezoidal engine's per-step RHS depends on the past only
+    through the companion history terms
+
+    * ``p = cap_g * cap_v + cap_i``      (one per capacitor) and
+    * ``q = -ind_g * ind_i - ind_v + mut_g @ ind_i``  (per inductor)
+
+    — exactly the quantities it adds to the RHS.  With zero inputs the
+    step ``x = A^-1 E s``, ``s' = C x + D s`` composes into a dense
+    propagator ``M = C A^-1 E + D`` on ``s = [p; q]`` alone, so every
+    response column advances by one small matrix product per step
+    instead of an ``lu_solve`` plus sparse RHS assembly; the recorded
+    nodes come back through one small output map per step.  This is an
+    exact algebraic regrouping of the stepping recurrence — the bank
+    matches full stepping to machine-precision accumulation order, far
+    inside the 1e-9 equivalence budget the tests pin.
+    """
     st = stamps.structure
-    if st.size == 0:
-        raise ValueError("cannot simulate an empty circuit")
     size = st.size
+    n_v = len(circuit.vsources)
+    n_i = len(circuit.isources)
+    n_src = n_v + n_i
     n_cap = len(circuit.capacitors)
     n_ind = len(circuit.inductors)
-    n_vsrc = len(circuit.vsources)
-    n_isrc = len(circuit.isources)
+    node_names, node_idx, _, _ = _recording_plan(circuit, st,
+                                                 list(record), None)
+    rec_idx = np.array([size if k < 0 else k for k in node_idx],
+                       dtype=int)
+    n_rec = len(rec_idx)
 
-    # --- constant system matrix -------------------------------------- #
-    lu = scipy.linalg.lu_factor(stamps.transient_matrix(dt))
+    # Unit-source RHS columns: a v-source stamps 1 on its branch row, an
+    # i-source its signed node incidence.
+    S = np.zeros((size, n_src))
+    if n_v:
+        S[stamps.vsrc_rows, np.arange(n_v)] = 1.0
+    if n_i:
+        S[:, n_v:] = stamps.isrc_incidence.toarray()
+
+    # DC operating point per unit source — the init-response columns.
+    # A singular G means the superposition path cannot carry the
+    # engine's use_ic start; bail out so the caller's full stepping
+    # (and its robust, counted, warned DC solve) handles it.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        g_lu = scipy.linalg.lu_factor(stamps.dc_matrix())
+        x0 = scipy.linalg.lu_solve(g_lu, S) if n_src else \
+            np.zeros((size, 0))
+    if not np.all(np.isfinite(x0)):
+        return None
     SOLVER_COUNTERS["mna_factorizations"] += 1
+    SOLVER_COUNTERS["mna_solves"] += n_src
 
-    # --- batched source sampling over the full time grid -------------- #
-    times = np.arange(steps) * dt
-    vsrc_samples = stamps.sample_waveforms(stamps.vsrc_waves, times)
-    isrc_samples = (stamps.sample_waveforms(stamps.isrc_waves, times)
-                    if n_isrc else None)
-
-    # --- initial state ------------------------------------------------ #
-    if use_ic:
-        x = _robust_solve(stamps.dc_matrix(), stamps.source_rhs(0.0))
-    else:
-        x = np.zeros(size)
+    factor = transient_block_factor(circuit, dt)
+    m = n_cap + n_ind
     cap_g = 2.0 * stamps.cap_c / dt
     ind_g = 2.0 * stamps.ind_l / dt
     mut_g = (stamps.mutual_pattern * (2.0 / dt)
              if stamps.mutual_pattern is not None else None)
-    cap_v = stamps.cap_diff @ x
-    cap_i = np.zeros(n_cap)
-    ind_i = x[st.ind_offset:st.ind_offset + n_ind].copy()
-    ind_v = np.zeros(n_ind)
-    cap_inc = stamps.cap_incidence
-    isrc_inc = stamps.isrc_incidence
-    vsrc_rows = stamps.vsrc_rows
-    ind_rows = stamps.ind_rows
 
-    # --- recording ---------------------------------------------------- #
-    node_names, node_idx, cur_names, cur_rows = _recording_plan(
-        circuit, st, record, record_currents)
-    # Ground (-1) indices read the guaranteed-zero slot past the end of
-    # the augmented solution vector.
-    rec_idx = np.array([size if k < 0 else k for k in node_idx], dtype=int)
-    cur_idx = np.array(cur_rows, dtype=int)
-    xa = np.zeros(size + 1)
-    v_out = np.zeros((steps, len(node_idx)))
-    i_out = np.zeros((steps, len(cur_rows)))
-    xa[:size] = x
-    v_out[0] = xa[rec_idx]
-    i_out[0] = x[cur_idx]
+    # E embeds the state into the RHS; its columns solved through the
+    # shared transient LU give the one-step response to each history
+    # term (the bank's only multi-column back-substitutions).
+    E = np.zeros((size, m))
+    if n_cap:
+        E[:, :n_cap] = stamps.cap_incidence.toarray()
+    if n_ind:
+        E[stamps.ind_rows, n_cap + np.arange(n_ind)] = 1.0
+    AiE = factor.solve(E) if m else np.zeros((size, 0))
+    AiS = factor.solve(S) if n_src else np.zeros((size, 0))
 
-    lu_solve = scipy.linalg.lu_solve
-    for step in range(1, steps):
-        z = np.zeros(size)
-        if n_vsrc:
-            z[vsrc_rows] = vsrc_samples[:, step]
-        if n_isrc:
-            z += isrc_inc @ isrc_samples[:, step]
+    # C maps a solved step back onto the next state: p' = 2 cap_g
+    # (cap_diff x) - p, and q' reads the new branch currents/voltages.
+    C = np.zeros((m, size))
+    if n_cap:
+        C[:n_cap] = (2.0 * cap_g)[:, None] * stamps.cap_diff.toarray()
+    if n_ind:
+        C[n_cap:] = -stamps.ind_diff.toarray()
+        C[n_cap + np.arange(n_ind), stamps.ind_rows] -= ind_g
+        if mut_g is not None:
+            C[np.ix_(np.arange(n_cap, m), stamps.ind_rows)] += mut_g
+    M = C @ AiE
+    if n_cap:
+        M[np.arange(n_cap), np.arange(n_cap)] -= 1.0
+
+    # Output maps (ground rows read a guaranteed-zero slot).
+    R = np.vstack([AiE, np.zeros((1, m))])[rec_idx]
+    RS = np.vstack([AiS, np.zeros((1, n_src))])[rec_idx]
+    x0_aug = np.vstack([x0, np.zeros((1, n_src))])
+
+    # Initial states: the DC columns start from the operating point
+    # (cap_i = ind_v = 0); the delta columns start from rest and
+    # receive their unit source inside step 1.
+    n_cols = 2 * n_src
+    s = np.zeros((m, n_cols))
+    if n_src:
+        x0i = x0[st.ind_offset:st.ind_offset + n_ind, :]
         if n_cap:
-            z += cap_inc @ (cap_g * cap_v + cap_i)
+            s[:n_cap, :n_src] = cap_g[:, None] * (stamps.cap_diff @ x0)
         if n_ind:
-            zl = -ind_g * ind_i - ind_v
+            q0 = -ind_g[:, None] * x0i
             if mut_g is not None:
-                zl += mut_g @ ind_i
-            z[ind_rows] = zl
+                q0 += mut_g @ x0i
+            s[n_cap:, :n_src] = q0
+    s_delta = C @ AiS
 
-        x = lu_solve(lu, z)
+    out = np.zeros((max_steps, n_rec, n_cols))
+    out[0, :, :n_src] = x0_aug[rec_idx]
 
-        # State update.
-        if n_cap:
-            v_new = stamps.cap_diff @ x
-            cap_i = cap_g * (v_new - cap_v) - cap_i
-            cap_v = v_new
-        if n_ind:
-            ind_v = stamps.ind_diff @ x
-            ind_i = x[st.ind_offset:st.ind_offset + n_ind].copy()
-
-        xa[:size] = x
-        v_out[step] = xa[rec_idx]
-        i_out[step] = x[cur_idx]
-
-    SOLVER_COUNTERS["mna_solves"] += steps - 1
-    return TransientResult(
-        time=times,
-        voltages={n: v_out[:, c] for c, n in enumerate(node_names)},
-        vsource_currents={n: i_out[:, c] for c, n in enumerate(cur_names)})
+    # Hot loop: one dense product per step.  States are buffered per
+    # chunk so outputs come from one batched product per chunk, and the
+    # settle test runs off the hot path entirely.  Settling is judged on
+    # the *injected RHS* ``E s`` rather than the raw state: parallel
+    # capacitors carry conserved companion-current splits (|λ| = 1 modes
+    # in the kernel of the incidence map) that never decay but are
+    # invisible to every solve — once ``E s`` is below ``settle_tol`` of
+    # its running peak at two consecutive chunk ends, all future
+    # outputs are bounded by that same fraction.
+    peak = float(np.max(np.abs(E @ s))) if s.size else 0.0
+    below = 0
+    length = max_steps
+    settled = False
+    chunk = 512
+    buf = np.empty((min(chunk, max(max_steps - 1, 1)), m, n_cols))
+    s_next = np.empty_like(s)
+    step = 1
+    while step < max_steps:
+        n_blk = min(chunk, max_steps - step)
+        for j in range(n_blk):
+            buf[j] = s
+            np.dot(M, s, out=s_next)
+            if step + j == 1:
+                s_next[:, n_src:] += s_delta
+            s, s_next = s_next, s
+        out[step:step + n_blk] = R @ buf[:n_blk]
+        step += n_blk
+        mag = float(np.max(np.abs(E @ s))) if s.size else 0.0
+        peak = max(peak, mag)
+        if mag <= settle_tol * peak:
+            below += 1
+            if below >= 2:
+                length = step
+                settled = True
+                break
+        else:
+            below = 0
+    if max_steps > 1:
+        out[1, :, n_src:] += RS
+    out = out[:length]
+    return PulseResponseBank(
+        dt=float(dt), length=length, settled=settled,
+        node_names=tuple(node_names), n_sources=n_src,
+        init_resp=np.ascontiguousarray(out[:, :, :n_src]),
+        impulse_resp=np.ascontiguousarray(out[:, :, n_src:]))
 
 
 def simulate_scalar(circuit: Circuit, t_stop: float, dt: float,

@@ -23,7 +23,6 @@ import os
 import pickle
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -51,6 +50,7 @@ from ..tech.interconnect3d import (cascade, microbump_model,
 from ..tech.interposer import (IntegrationStyle, InterposerSpec, get_spec)
 from ..thermal.model import PackageThermalReport, analyze_package_thermal
 from .fullchip import FullChipSummary, full_chip_summary
+from .pool import get_pool
 
 
 @dataclass
@@ -80,9 +80,12 @@ class DesignResult:
     #: of the design point itself, so it is excluded from comparisons.
     stage_times: Optional[Dict[str, float]] = None
     #: Circuit-solver counters for this run (``mna_factorizations``,
-    #: ``mna_solves``, ``robust_fallbacks``); observability only, like
-    #: ``stage_times``.
+    #: ``mna_solves``, ``transient_factorizations``, ``transient_solves``,
+    #: ``robust_fallbacks``); observability only, like ``stage_times``.
     solver_stats: Optional[Dict[str, int]] = None
+    #: Per-stage solver-counter deltas (stage name → counter dict), the
+    #: breakdown behind ``solver_stats``; observability only.
+    stage_solver_stats: Optional[Dict[str, Dict[str, int]]] = None
 
     def table4_row(self) -> Dict[str, object]:
         """One column of Table IV (interposer design results)."""
@@ -336,19 +339,28 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         if hit is not None:
             return hit
     stage_times: Dict[str, float] = {}
+    stage_solver_stats: Dict[str, Dict[str, int]] = {}
     reset_solver_counters()
+
+    def _stage_counters(stage: str, before: Dict[str, int]) -> None:
+        after = solver_counters()
+        stage_solver_stats[stage] = {k: after[k] - before.get(k, 0)
+                                     for k in after}
+
     t_total = time.perf_counter()
     spec = get_spec(name)
     if overrides:
         spec = _apply_overrides(spec, dict(overrides))
 
     t0 = time.perf_counter()
+    c0 = solver_counters()
     logic = build_chiplet("logic", spec, scale=scale, seed=seed,
                           target_frequency_mhz=target_frequency_mhz)
     memory = build_chiplet("memory", spec, scale=scale, seed=seed,
                            target_frequency_mhz=target_frequency_mhz)
     placement = place_dies(spec, logic.bump_plan, memory.bump_plan)
     stage_times["chiplets"] = time.perf_counter() - t0
+    _stage_counters("chiplets", c0)
 
     route = None
     pdn = None
@@ -357,10 +369,12 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
     transient = None
     if spec.style is not IntegrationStyle.TSV_STACK:
         t0 = time.perf_counter()
+        c0 = solver_counters()
         route = route_interposer(placement,
                                  logic.bump_plan.signal_positions(),
                                  memory.bump_plan.signal_positions())
         stage_times["routing"] = time.perf_counter() - t0
+        _stage_counters("routing", c0)
         if route.stats is not None:
             # Sub-keys ("stage/phase") break the routing stage down;
             # they are excluded from whole-stage accounting sums.
@@ -368,6 +382,7 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
             stage_times["routing/rrr"] = route.stats.rrr_time_s
             stage_times["routing/maze"] = route.stats.maze_time_s
         t0 = time.perf_counter()
+        c0 = solver_counters()
         pdn = build_pdn(placement)
         pdn_imp = analyze_pdn_impedance(pdn)
         powers = {d.name: (logic if d.kind == "logic"
@@ -377,16 +392,20 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         transient = analyze_power_transient(
             pdn, sum(powers.values()))
         stage_times["pdn"] = time.perf_counter() - t0
+        _stage_counters("pdn", c0)
 
     t0 = time.perf_counter()
+    c0 = solver_counters()
     l2m_ch, l2l_ch = _channels_for(spec, route)
     l2m_rep = measure_channel(l2m_ch, target_frequency_mhz * 1e6)
     l2l_rep = measure_channel(l2l_ch, target_frequency_mhz * 1e6)
     stage_times["channels"] = time.perf_counter() - t0
+    _stage_counters("channels", c0)
 
     l2m_eye = l2l_eye = None
     if with_eyes:
         t0 = time.perf_counter()
+        c0 = solver_counters()
         coupled = coupled_line_for_spec(spec)
         l2m_eye = simulate_eye(line=l2m_ch.line,
                                length_um=l2m_ch.length_um,
@@ -397,10 +416,12 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
                                lumped=l2l_ch.lumped, coupled=coupled,
                                num_bits=64)
         stage_times["eyes"] = time.perf_counter() - t0
+        _stage_counters("eyes", c0)
 
     thermal = None
     if with_thermal:
         t0 = time.perf_counter()
+        c0 = solver_counters()
         powers = {d.name: (logic if d.kind == "logic"
                            else memory).power.total_mw * 1e-3
                   for d in placement.dies}
@@ -410,6 +431,7 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
             maps[d.name] = power_density_map(res.route, res.power)
         thermal = analyze_package_thermal(placement, powers, maps)
         stage_times["thermal"] = time.perf_counter() - t0
+        _stage_counters("thermal", c0)
 
     fullchip = full_chip_summary(logic, memory, l2m_rep, l2l_rep)
     stage_times["total"] = time.perf_counter() - t_total
@@ -420,7 +442,7 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
         power_transient=transient, l2m_channel=l2m_rep,
         l2l_channel=l2l_rep, l2m_eye=l2m_eye, l2l_eye=l2l_eye,
         thermal=thermal, fullchip=fullchip, stage_times=stage_times,
-        solver_stats=solver_stats)
+        solver_stats=solver_stats, stage_solver_stats=stage_solver_stats)
     if use_cache:
         _CACHE[key] = result
     return result
@@ -636,9 +658,10 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
                                with_thermal=with_thermal), use_cache)
                  for n in misses]
         if jobs > 1 and len(misses) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs,
-                                                     len(misses))) as pool:
-                outcomes = list(pool.map(_run_flow_task_args, tasks))
+            # The persistent pool outlives this call: later fan-outs (and
+            # every point of a DSE sweep) reuse the same warm workers.
+            pool, _reused = get_pool(jobs)
+            outcomes = list(pool.map(_run_flow_task_args, tasks))
         else:
             outcomes = [_run_flow_task_args(t) for t in tasks]
         for n, out in zip(misses, outcomes):

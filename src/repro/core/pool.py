@@ -1,0 +1,63 @@
+"""Persistent worker pool for flow fan-outs and DSE sweeps.
+
+Spinning up a ``ProcessPoolExecutor`` per sweep point costs far more
+than most cached flow evaluations: each worker forks/spawns, imports the
+whole ``repro`` package, and is then thrown away.  This module keeps one
+module-level pool alive for the life of the process so every fan-out
+after the first reuses warm workers, and pre-imports the heavy flow
+modules in each worker via an initializer so even the *first* task per
+worker skips import latency.
+
+The pool is recreated only when the requested worker count changes or a
+worker died (broken pool); an ``atexit`` hook shuts it down at process
+exit.  Callers that need isolation (tests asserting process counts) can
+call :func:`shutdown_pool` explicitly.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Tuple
+
+_POOL = None
+_POOL_SIZE = 0
+
+
+def _warm_import() -> None:
+    """Worker initializer: pre-import the flow so first tasks run warm."""
+    import repro.core.flow  # noqa: F401
+    import repro.dse.evaluate  # noqa: F401
+
+
+def get_pool(jobs: int) -> Tuple[ProcessPoolExecutor, bool]:
+    """Return ``(pool, reused)`` for a fan-out of ``jobs`` workers.
+
+    ``reused`` is ``False`` when this call created (or recreated) the
+    pool — the caller's first map through it pays worker warm-up — and
+    ``True`` when warm workers from an earlier fan-out were reused.
+    """
+    global _POOL, _POOL_SIZE
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    broken = _POOL is not None and getattr(_POOL, "_broken", False)
+    if _POOL is not None and (_POOL_SIZE != jobs or broken):
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=jobs,
+                                    initializer=_warm_import)
+        _POOL_SIZE = jobs
+        return _POOL, False
+    return _POOL, True
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (idempotent)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_pool)

@@ -17,9 +17,20 @@ Store layout (``results/sweeps/<name>/`` by default)::
                     {"id", "index", "params", "metrics", "error"}
                     (metrics null on failure; error {"type","message"}
                     null on success)
-    timings.jsonl   {"id", "wall_s", "cached"} per execution — wall
-                    times live here, outside the deterministic store
+    timings.jsonl   {"id", "wall_s", "cached", "deduped", "pool"} per
+                    execution — wall times live here, outside the
+                    deterministic store.  ``pool`` records whether the
+                    point ran serially or on cold (just created) vs
+                    warm (reused) pool workers; ``deduped`` marks points
+                    that copied an identical in-flight point's result.
     errors.log      full tracebacks of failed points
+
+Parallel fan-outs go through the persistent pool of
+:mod:`repro.core.pool`, so every sweep after the first in a process (and
+every rung of a multi-fidelity run) reuses warm, pre-imported workers.
+Points with identical parameters are evaluated once per run — the later
+duplicates copy the first occurrence's deterministic record, which is
+what an actual evaluation would have produced.
 
 Worker errors become structured failure rows instead of aborting the
 sweep; the surviving points still complete and persist.
@@ -30,10 +41,10 @@ from __future__ import annotations
 import json
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.pool import get_pool
 from ..tech.interposer import InterposerSpec
 from .evaluate import PointEvaluationError, evaluate_point
 from .space import SweepSpec
@@ -238,53 +249,84 @@ class SweepRunner:
         if not todo:
             return records
 
-        tasks = [(self.spec, self.base_spec, i, params)
-                 for i, params in todo]
-        if self.jobs > 1 and len(tasks) > 1:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(tasks)))
+        # Dedupe identical in-flight points: only the first occurrence
+        # of each parameter set is evaluated; later duplicates copy its
+        # deterministic record (what evaluating them would produce).
+        unique_tasks: List[Tuple[SweepSpec, Optional[InterposerSpec],
+                                 int, Dict[str, object]]] = []
+        plan: List[Tuple[int, bool]] = []  # (unique position, is_dup)
+        first_seen: Dict[str, int] = {}
+        for i, params in todo:
+            key = json.dumps(params, sort_keys=True,
+                             separators=(",", ":"))
+            pos = first_seen.get(key)
+            if pos is None:
+                first_seen[key] = len(unique_tasks)
+                plan.append((len(unique_tasks), False))
+                unique_tasks.append((self.spec, self.base_spec, i,
+                                     params))
+            else:
+                plan.append((pos, True))
+
+        if self.jobs > 1 and len(unique_tasks) > 1:
+            # Persistent pool (repro.core.pool): reused across run()
+            # calls and sweeps, so only the first fan-out in a process
+            # pays worker spin-up and imports.
+            pool, reused = get_pool(self.jobs)
+            pool_state = "warm" if reused else "cold"
             # map() yields in submission order, which is point order —
             # the store stays an ordered prefix of the point list.
-            outcomes = pool.map(_evaluate_task, tasks, chunksize=1)
+            outcomes = pool.map(_evaluate_task, unique_tasks, chunksize=1)
         else:
-            pool = None
-            outcomes = map(_evaluate_task, tasks)
+            pool_state = "serial"
+            outcomes = map(_evaluate_task, unique_tasks)
+        outcomes_iter = iter(outcomes)
+        completed: List[Tuple[Dict[str, object], float, bool,
+                              Optional[str]]] = []
 
+        points_fh = timings_fh = None
+        if self.out_dir is not None:
+            points_fh = open(self.points_path, "a")
+            timings_fh = open(self.timings_path, "a")
         try:
-            points_fh = timings_fh = None
-            if self.out_dir is not None:
-                points_fh = open(self.points_path, "a")
-                timings_fh = open(self.timings_path, "a")
-            try:
-                for (index, _), (record, wall_s, cached, tb) \
-                        in zip(todo, outcomes):
-                    records.append(record)
-                    if points_fh is not None:
-                        points_fh.write(_canonical_line(record))
-                        points_fh.flush()  # checkpoint per point
-                        timings_fh.write(_canonical_line({
-                            "id": record["id"],
-                            "wall_s": round(wall_s, 4),
-                            "cached": cached,
-                        }))
-                        timings_fh.flush()
-                        if tb:
-                            with open(self.errors_path, "a") as err_fh:
-                                err_fh.write(
-                                    f"--- {record['id']} ---\n{tb}\n")
-                    if self.progress is not None:
-                        status = ("ok" if record["error"] is None else
-                                  f"FAILED ({record['error']['type']})")
-                        self.progress(
-                            f"[{index + 1}/{len(points)}] "
-                            f"{record['id']} {status} {wall_s:.2f}s")
-            finally:
+            for (index, params), (pos, is_dup) in zip(todo, plan):
+                if not is_dup:
+                    completed.append(next(outcomes_iter))
+                    record, wall_s, cached, tb = completed[-1]
+                else:
+                    # The representative always precedes its duplicates
+                    # in point order, so its outcome is already in.
+                    rep_record, _, cached, tb = completed[pos]
+                    record = dict(rep_record)
+                    record["id"] = self.spec.point_id(index)
+                    record["index"] = index
+                    wall_s = 0.0
+                records.append(record)
                 if points_fh is not None:
-                    points_fh.close()
-                    timings_fh.close()
+                    points_fh.write(_canonical_line(record))
+                    points_fh.flush()  # checkpoint per point
+                    timings_fh.write(_canonical_line({
+                        "id": record["id"],
+                        "wall_s": round(wall_s, 4),
+                        "cached": cached,
+                        "deduped": is_dup,
+                        "pool": pool_state,
+                    }))
+                    timings_fh.flush()
+                    if tb:
+                        with open(self.errors_path, "a") as err_fh:
+                            err_fh.write(
+                                f"--- {record['id']} ---\n{tb}\n")
+                if self.progress is not None:
+                    status = ("ok" if record["error"] is None else
+                              f"FAILED ({record['error']['type']})")
+                    self.progress(
+                        f"[{index + 1}/{len(points)}] "
+                        f"{record['id']} {status} {wall_s:.2f}s")
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if points_fh is not None:
+                points_fh.close()
+                timings_fh.close()
         return records
 
 

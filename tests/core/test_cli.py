@@ -46,7 +46,28 @@ class TestCli:
         assert (tmp_path / "results" / "profile_glass_3d.pstats").exists()
         summary = tmp_path / "results" / "profile_glass_3d.txt"
         assert "cumulative" in summary.read_text()
-        assert "glass_3d" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "glass_3d" in out
+        # --profile also prints the per-stage solver-counter table.
+        assert "solver counters per stage" in out
+        assert "chiplets" in out
+        assert "channels" in out
+        assert "total" in out
+
+    def test_profile_solver_table_counts_transients(self, tmp_path,
+                                                    capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["glass_3d", "--scale", "0.015", "--no-thermal",
+                   "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tran solve" in out
+        # The eye stage runs transient solves; its row must show a
+        # nonzero count in the "tran solve" column.
+        eye_row = next(l for l in out.splitlines()
+                       if l.strip().startswith("eyes"))
+        assert any(int(tok) > 0 for tok in eye_row.split()[1:]
+                   if tok.isdigit())
 
 
 SPACE_YAML = """\

@@ -71,3 +71,36 @@ class TestMonolithic:
                                                          silicon_design):
         m = run_monolithic(scale=0.03, seed=7)
         assert m.area_mm2 < silicon_design.placement.area_mm2
+
+
+class TestSolverStats:
+    def test_stage_solver_stats_present(self, glass3d_design):
+        stats = glass3d_design.stage_solver_stats
+        assert stats is not None
+        assert {"chiplets", "routing", "pdn", "channels",
+                "eyes", "thermal"} <= set(stats)
+        for per_stage in stats.values():
+            assert {"mna_factorizations", "mna_solves",
+                    "transient_factorizations",
+                    "transient_solves"} <= set(per_stage)
+            assert all(v >= 0 for v in per_stage.values())
+
+    def test_stage_deltas_sum_to_totals(self, glass3d_design):
+        stats = glass3d_design.stage_solver_stats
+        totals = glass3d_design.solver_stats
+        for counter in ("mna_factorizations", "mna_solves",
+                        "transient_factorizations", "transient_solves"):
+            summed = sum(s[counter] for s in stats.values())
+            # Stage deltas cover everything between reset and the final
+            # snapshot except the tiny full-chip roll-up outside any
+            # stage — so per-stage sums can never exceed the total.
+            assert summed <= totals[counter]
+
+    def test_transient_work_lands_in_channel_and_eye_stages(
+            self, glass3d_design):
+        stats = glass3d_design.stage_solver_stats
+        assert stats["channels"]["transient_solves"] > 0
+        assert stats["eyes"]["transient_solves"] > 0
+        # The superposition engine keeps the eye stage's per-step solve
+        # count tiny compared with full stepping (8192 steps per eye).
+        assert stats["eyes"]["transient_solves"] < 2000

@@ -182,3 +182,87 @@ class TestFlowCacheInteraction:
         # Cache state changes timings.jsonl only, never the store.
         assert warm.points_path.read_bytes() \
             == cold.points_path.read_bytes()
+
+
+#: Duplicate-heavy sweep: the axis repeats one value, so 4 of its 6
+#: points are parameter-identical to an earlier point.
+DUPED = SweepSpec(
+    name="duped-link", design="glass_25d", evaluator="link",
+    sampler="grid", length_um=1000.0,
+    axes=(Axis("min_wire_width_um", values=(2.0, 2.0, 2.0),
+               tied=("min_wire_space_um",)),
+          Axis("dielectric_thickness_um", values=(10.0, 10.0))))
+
+
+class TestDedupe:
+    def test_duplicate_points_share_one_evaluation(self, tmp_path):
+        runner = SweepRunner(DUPED, out_dir=tmp_path / "s")
+        records = runner.run()
+        assert len(records) == 6
+        timings = [json.loads(l) for l in
+                   runner.timings_path.read_text().splitlines()]
+        assert [t["deduped"] for t in timings] \
+            == [False, True, True, True, True, True]
+        # Duplicates copy the representative's deterministic result.
+        for r in records[1:]:
+            assert r["metrics"] == records[0]["metrics"]
+        # ...but keep their own identity.
+        assert [r["index"] for r in records] == list(range(6))
+        assert [r["id"] for r in records] \
+            == [DUPED.point_id(i) for i in range(6)]
+
+    def test_deduped_rows_match_undeduped_semantics(self, tmp_path):
+        # Evaluating the duplicated params directly gives the same
+        # metrics the copied rows carry.
+        from repro.dse.evaluate import evaluate_point
+        runner = SweepRunner(DUPED, out_dir=tmp_path / "s")
+        records = runner.run()
+        metrics = evaluate_point(DUPED, records[3]["params"])
+        metrics.pop("_cached", None)
+        want = {k: v for k, v in records[3]["metrics"].items()}
+        assert {k: pytest.approx(v) for k, v in want.items()} == metrics
+
+    def test_distinct_points_not_deduped(self, tmp_path):
+        runner = SweepRunner(CHEAP, out_dir=tmp_path / "s")
+        runner.run()
+        timings = [json.loads(l) for l in
+                   runner.timings_path.read_text().splitlines()]
+        assert all(not t["deduped"] for t in timings)
+        assert all(t["pool"] == "serial" for t in timings)
+
+
+class TestWarmPool:
+    def test_pool_reused_across_runs(self, tmp_path):
+        from repro.core import pool as pool_mod
+        pool_mod.shutdown_pool()
+        try:
+            runner1 = SweepRunner(CHEAP, out_dir=tmp_path / "a", jobs=2)
+            runner1.run()
+            t1 = [json.loads(l) for l in
+                  runner1.timings_path.read_text().splitlines()]
+            assert all(t["pool"] == "cold" for t in t1)
+            runner2 = SweepRunner(CHEAP, out_dir=tmp_path / "b", jobs=2)
+            runner2.run()
+            t2 = [json.loads(l) for l in
+                  runner2.timings_path.read_text().splitlines()]
+            assert all(t["pool"] == "warm" for t in t2)
+        finally:
+            pool_mod.shutdown_pool()
+
+    def test_get_pool_recreates_on_size_change(self):
+        from repro.core.pool import get_pool, shutdown_pool
+        shutdown_pool()
+        try:
+            p1, reused1 = get_pool(2)
+            assert not reused1
+            p2, reused2 = get_pool(2)
+            assert reused2 and p2 is p1
+            p3, reused3 = get_pool(3)
+            assert not reused3 and p3 is not p1
+        finally:
+            shutdown_pool()
+
+    def test_get_pool_rejects_bad_jobs(self):
+        from repro.core.pool import get_pool
+        with pytest.raises(ValueError):
+            get_pool(0)

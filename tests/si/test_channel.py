@@ -90,3 +90,66 @@ class TestMeasurements:
                 lateral.interconnect_delay_ps
             assert vert.interconnect_power_uw < \
                 lateral.interconnect_power_uw
+
+
+class TestSimCache:
+    def test_same_physics_different_name_is_bit_identical(self):
+        """The memo keys on physics, not names: two channels with equal
+        parameters share one simulation, so their reports are equal to
+        the last bit."""
+        from repro.si.channel import _CHANNEL_SIM_CACHE
+        _CHANNEL_SIM_CACHE.clear()
+        a = measure_channel(Channel("a", lumped=microbump_model()))
+        n_after_first = len(_CHANNEL_SIM_CACHE)
+        b = measure_channel(Channel("b", lumped=microbump_model()))
+        assert len(_CHANNEL_SIM_CACHE) == n_after_first
+        assert a.interconnect_delay_ps == b.interconnect_delay_ps
+        assert a.interconnect_power_uw == b.interconnect_power_uw
+
+    def test_different_physics_not_shared(self):
+        from repro.si.channel import _CHANNEL_SIM_CACHE
+        _CHANNEL_SIM_CACHE.clear()
+        measure_channel(Channel("a", lumped=microbump_model()))
+        n1 = len(_CHANNEL_SIM_CACHE)
+        measure_channel(Channel("b", lumped=tsv_model()))
+        assert len(_CHANNEL_SIM_CACHE) == n1 + 1
+
+    def test_line_length_in_key(self):
+        from repro.si.channel import _channel_sim_key
+        line = line_for_spec(GLASS_25D)
+        k1 = _channel_sim_key(
+            Channel("x", line=line, length_um=1000), 7e8, 1e-12)
+        k2 = _channel_sim_key(
+            Channel("x", line=line, length_um=2000), 7e8, 1e-12)
+        assert k1 != k2
+
+
+class TestMeasureChannels:
+    def test_matches_per_channel_measurements(self):
+        from repro.si.channel import measure_channels
+
+        channels = [
+            Channel("bump", lumped=microbump_model()),
+            Channel("tsv2", lumped=cascade(tsv_model(), tsv_model())),
+            Channel("rdl", line=line_for_spec(GLASS_25D),
+                    length_um=1500.0),
+        ]
+        batched = measure_channels(channels)
+        for ch, rep in zip(channels, batched):
+            solo = measure_channel(ch)
+            assert rep.name == solo.name
+            assert rep.interconnect_delay_ps == pytest.approx(
+                solo.interconnect_delay_ps, abs=1e-6)
+            assert rep.interconnect_power_uw == pytest.approx(
+                solo.interconnect_power_uw, rel=1e-9, abs=1e-9)
+            assert rep.total_delay_ps == pytest.approx(
+                solo.total_delay_ps, rel=1e-9)
+
+    def test_activity_threaded(self):
+        from repro.si.channel import measure_channels
+        full = measure_channels([Channel("b", lumped=microbump_model())],
+                                activity=1.0)[0]
+        half = measure_channels([Channel("b", lumped=microbump_model())],
+                                activity=0.5)[0]
+        assert half.interconnect_power_uw == pytest.approx(
+            full.interconnect_power_uw * 0.5, rel=1e-12)

@@ -52,11 +52,22 @@ class TestFoldEye:
         bits = [1, 0, 1, 0, 1, 1, 0, 0]
         t, wave = self._ideal(bits)
         shift = 12
-        shifted = np.concatenate([np.full(shift, wave[0]), wave])[:len(wave)]
-        hi, lo = fold_eye(t, shifted, bits, 1e-9,
+        # Keep the full waveform (no truncation) so every UI stays
+        # covered after the latency shift.
+        shifted = np.concatenate([np.full(shift, wave[0]), wave])
+        t_ext = np.arange(len(shifted)) * (1e-9 / 50)
+        hi, lo = fold_eye(t_ext, shifted, bits, 1e-9,
                           latency=shift * (1e-9 / 50))
         m = eye_metrics(hi, lo, 1e-9, vdd=1.0)
         assert m.eye_height_v == pytest.approx(1.0)
+
+    def test_shortfall_raises(self):
+        bits = [1, 0, 1, 0, 1, 1, 0, 0]
+        t, wave = self._ideal(bits)
+        # A latency shift of a full UI leaves only 7 of the 8 UIs
+        # covered — fold_eye must refuse rather than silently truncate.
+        with pytest.raises(ValueError, match="covers only 7 of 8"):
+            fold_eye(t, wave, bits, 1e-9, latency=1e-9)
 
 
 class TestSimulateEye:
@@ -96,3 +107,72 @@ class TestSimulateEye:
         eye = simulate_eye(lumped=stacked_via_model(), num_bits=24,
                            data_rate_gbps=1.4)
         assert eye.ui_ns == pytest.approx(1 / 1.4, rel=1e-6)
+
+
+class TestOffsetWave:
+    def _step(self):
+        from repro.circuit.waveforms import step
+        return step(1.0, t_start=1e-9, rise_time=1e-12)
+
+    def test_positive_offset_shifts_later(self):
+        from repro.si.eye import _offset_wave
+        shifted = _offset_wave(self._step(), 2e-9)
+        assert shifted(2.5e-9) == pytest.approx(0.0)
+        assert shifted(3.5e-9) == pytest.approx(1.0)
+
+    def test_negative_offset_shifts_earlier(self):
+        from repro.si.eye import _offset_wave
+        shifted = _offset_wave(self._step(), -0.5e-9)
+        # The edge at 1 ns moves up to 0.5 ns.
+        assert shifted(0.4e-9) == pytest.approx(0.0)
+        assert shifted(0.7e-9) == pytest.approx(1.0)
+
+    def test_sample_attribute_follows_offset(self):
+        from repro.si.eye import _offset_wave
+        wave = self._step()
+        shifted = _offset_wave(wave, -0.5e-9)
+        ts = np.array([0.2e-9, 0.7e-9, 2e-9])
+        got = shifted.sample(ts)
+        want = np.array([shifted(float(t)) for t in ts])
+        assert np.allclose(got, want)
+
+
+class TestEstimateLatency:
+    def test_zero_length_wave(self):
+        from repro.si.eye import _estimate_latency
+        empty = np.array([])
+        assert _estimate_latency(empty, empty, [1, 0, 1], 1e-9,
+                                 1.0) == 0.0
+
+    def test_single_sample_wave(self):
+        from repro.si.eye import _estimate_latency
+        one = np.array([0.0])
+        assert _estimate_latency(one, one, [1, 0], 1e-9, 1.0) == 0.0
+
+    def test_no_bits(self):
+        from repro.si.eye import _estimate_latency
+        t = np.arange(100) * 1e-11
+        assert _estimate_latency(t, np.ones(100), [], 1e-9, 1.0) == 0.0
+
+    def test_threshold_never_crossed(self):
+        # A dead (all-zero) waveform never matches the ideal NRZ at any
+        # shift better than another: the estimate degrades to zero
+        # latency instead of diverging.
+        from repro.si.eye import _estimate_latency
+        t = np.arange(500) * 1e-11
+        wave = np.zeros(500)
+        latency = _estimate_latency(t, wave, [1, 1, 1, 1, 1], 1e-9, 1.0)
+        assert latency == 0.0
+
+    def test_recovers_known_shift(self):
+        from repro.si.eye import _estimate_latency
+        ui = 1e-9
+        spb = 100
+        dt = ui / spb
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        ideal = np.repeat(np.array(bits, float), spb)
+        shift = 17
+        wave = np.concatenate([np.zeros(shift), ideal])
+        t = np.arange(len(wave)) * dt
+        latency = _estimate_latency(t, wave, bits, ui, 1.0)
+        assert latency == pytest.approx(shift * dt)
