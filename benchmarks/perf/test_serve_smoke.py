@@ -1,0 +1,152 @@
+"""Evaluation-service load check (``pytest -m serve_smoke benchmarks/perf``).
+
+Eight concurrent clients replay a mixed hot/cold request trace against
+a freshly started server: the hot set is five geometry requests warmed
+up front (so replays must come from the shared content-addressed
+tier), the cold tail is per-client unique requests that always miss.
+Records throughput (``serve_rps``), latency percentiles
+(``serve_p50_ms``/``serve_p99_ms``) and the hot-portion cache hit rate
+(``serve_cache_hit_rate``) into ``results/BENCH_flow.json``, gates the
+p50 against ``baseline.json`` (re-record with ``REPRO_PERF_REBASE=1``)
+and fails outright when the hot hit rate drops below 0.9.
+"""
+
+import json
+import os
+import random
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.serve import (EvalRequest, ServeClient, ServerConfig,
+                         start_in_thread)
+
+pytestmark = pytest.mark.serve_smoke
+
+HERE = os.path.dirname(__file__)
+BASELINE_PATH = os.path.join(HERE, "baseline.json")
+RESULTS_DIR = os.path.join(HERE, os.pardir, os.pardir, "results")
+
+#: Fail when p50 drifts more than this factor past the baseline.
+REGRESSION_FACTOR = 2.5
+
+#: Concurrent clients (the acceptance floor is 8).
+CLIENTS = 8
+
+#: Requests each client replays in the mixed phase.
+REQUESTS_PER_CLIENT = 30
+
+#: Fraction of the mixed trace drawn from the warmed hot set.
+HOT_FRACTION = 0.9
+
+#: The hot set: cheap geometry points, warmed before the replay.
+HOT_SET = [EvalRequest(kind="geometry", scale=1.0 + i / 10)
+           for i in range(5)]
+
+
+def _merge_json(path, updates):
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            payload = json.load(fh)
+    payload.update(updates)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def _baseline():
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def _replay(url, client_index, out, barrier):
+    """One client thread: replay a seeded mixed hot/cold trace."""
+    rng = random.Random(1000 + client_index)
+    samples = []  # (latency_ms, was_hot, was_cached)
+    with ServeClient(url) as client:
+        barrier.wait()
+        for step in range(REQUESTS_PER_CLIENT):
+            if rng.random() < HOT_FRACTION:
+                request, hot = rng.choice(HOT_SET), True
+            else:
+                # Unique per client+step: guaranteed cold.
+                request = EvalRequest(
+                    kind="geometry",
+                    scale=3.0 + client_index / 10 + step / 1000)
+                hot = False
+            t0 = time.perf_counter()
+            result = client.evaluate(request)
+            latency_ms = (time.perf_counter() - t0) * 1e3
+            assert result.ok
+            samples.append((latency_ms, hot, result.cached))
+    out[client_index] = samples
+
+
+def test_serve_smoke_mixed_trace(tmp_path, monkeypatch):
+    """Eight concurrent clients over a 90/10 hot/cold trace."""
+    monkeypatch.setenv("REPRO_FLOW_CACHE", str(tmp_path / "cache"))
+    from repro.core.pool import shutdown_pool
+    shutdown_pool()  # fork pool workers under this cache dir
+    try:
+        with start_in_thread(ServerConfig(port=0, workers=2)) as handle:
+            with ServeClient(handle.url) as warmer:
+                for request in HOT_SET:
+                    assert warmer.evaluate(request).ok
+
+            results = {}
+            barrier = threading.Barrier(CLIENTS)
+            threads = [threading.Thread(target=_replay,
+                                        args=(handle.url, i, results,
+                                              barrier))
+                       for i in range(CLIENTS)]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            elapsed = time.perf_counter() - t0
+    finally:
+        shutdown_pool()
+
+    assert len(results) == CLIENTS, "a client thread died"
+    samples = [s for per_client in results.values() for s in per_client]
+    assert len(samples) == CLIENTS * REQUESTS_PER_CLIENT
+
+    latencies = sorted(s[0] for s in samples)
+    hot = [s for s in samples if s[1]]
+    hot_hits = sum(1 for s in hot if s[2])
+    hit_rate = hot_hits / len(hot)
+    rps = len(samples) / elapsed
+    p50 = statistics.median(latencies)
+    p99 = latencies[min(len(latencies) - 1,
+                        int(len(latencies) * 0.99))]
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    _merge_json(os.path.join(RESULTS_DIR, "BENCH_flow.json"), {
+        "serve_rps": round(rps, 1),
+        "serve_p50_ms": round(p50, 2),
+        "serve_p99_ms": round(p99, 2),
+        "serve_cache_hit_rate": round(hit_rate, 4),
+        "serve_clients": CLIENTS,
+        "serve_requests": len(samples),
+    })
+
+    # The hot portion must be served from the shared tier.
+    assert hit_rate >= 0.9, (
+        f"hot-portion cache hit rate {hit_rate:.3f} < 0.9 "
+        f"({hot_hits}/{len(hot)} hot requests cached)")
+
+    if os.environ.get("REPRO_PERF_REBASE") == "1" \
+            or "serve_p50_ms" not in _baseline():
+        _merge_json(BASELINE_PATH, {"serve_p50_ms": round(p50, 2)})
+        pytest.skip(f"baseline recorded: p50 {p50:.2f}ms "
+                    f"({rps:.0f} rps, hit rate {hit_rate:.3f})")
+    budget = _baseline()["serve_p50_ms"] * REGRESSION_FACTOR
+    assert p50 <= budget, (
+        f"serve p50 {p50:.2f}ms vs budget {budget:.2f}ms "
+        f"(baseline x{REGRESSION_FACTOR})")

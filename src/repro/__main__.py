@@ -1,20 +1,29 @@
 """Command-line entry point.
 
-Three modes::
+Five modes::
 
     python -m repro [design] [--scale S] [--seed N] [...]   # run the flow
-    python -m repro sweep --space FILE [--jobs N] [--resume] [--profile]
+    python -m repro sweep --space FILE [--jobs N] [--resume] [--server URL]
     python -m repro report --sweep DIR [--out DIR] [--png]
+    python -m repro serve [--host H] [--port P] [--workers N]
+    python -m repro cache [--gc --max-bytes N]
 
 The first runs the co-design flow for one design point (or all of them)
 and prints the paper-style summary tables; the second executes a
 declarative design-space sweep (see ``repro.dse`` and
 ``examples/spaces/``) — a space file carrying a ``fidelity:`` block is
-run through the multi-fidelity ladder runner automatically; the third
-renders a completed sweep's result store into a Markdown report with
-SVG figures (``repro.dse.report``).  Design names accept forgiving
-aliases (``glass-2.5d``, ``Glass_25D``, ...) via
-:func:`repro.tech.get_spec`.
+run through the multi-fidelity ladder runner automatically, and
+``--server`` targets a running evaluation service instead of local
+workers; the third renders a completed sweep's result store into a
+Markdown report with SVG figures (``repro.dse.report``); the fourth
+runs the asyncio evaluation service (``repro.serve``); the fifth
+inspects or garbage-collects the shared result-cache tier.  Design
+names accept forgiving aliases (``glass-2.5d``, ``Glass_25D``, ...)
+via :func:`repro.tech.get_spec`.
+
+Operational errors — unknown subcommands or designs, malformed serve
+and cache arguments — exit with status 2 and a single-line ``error:``
+message on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -26,6 +35,25 @@ import time
 from .core.flow import run_designs, run_monolithic
 from .core.report import format_table
 from .tech.interposer import get_spec, spec_names
+
+#: Subcommand names (everything else is a design name for ``run_main``).
+SUBCOMMANDS = ("sweep", "report", "serve", "cache")
+
+
+def _cli_error(message: str) -> int:
+    """Print the one-line operational-error message; returns exit 2."""
+    print(f"error: { ' '.join(str(message).split()) }", file=sys.stderr)
+    return 2
+
+
+class _CliParser(argparse.ArgumentParser):
+    """Parser whose errors are one-line ``error:`` messages (exit 2),
+    matching the sweep/report operational-error convention."""
+
+    def error(self, message):
+        print(f"error: {' '.join(str(message).split())}",
+              file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _summarize(name: str, result) -> list:
@@ -91,9 +119,11 @@ def run_main(argv) -> int:
         try:
             names = [get_spec(args.design).name]
         except KeyError:
-            parser.error(
-                f"unknown design {args.design!r}; valid: "
-                f"{', '.join(spec_names() + ['all', 'monolithic'])}")
+            return _cli_error(
+                f"unknown design or subcommand {args.design!r}; "
+                f"designs: "
+                f"{', '.join(spec_names() + ['all', 'monolithic'])}; "
+                f"subcommands: {', '.join(SUBCOMMANDS)}")
     print(f"running {', '.join(names)} (scale={args.scale}, "
           f"seed={args.seed}, jobs={args.jobs}"
           f"{', profiled' if args.profile else ''})...", file=sys.stderr)
@@ -222,6 +252,11 @@ def sweep_main(argv) -> int:
                              "top-25 cumulative summary (best with "
                              "--jobs 1: worker-process time is invisible "
                              "to the parent's profiler)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="evaluate points on a running "
+                             "'python -m repro serve' instance at URL "
+                             "instead of local workers (plain sweeps "
+                             "only)")
     args = parser.parse_args(argv)
 
     try:
@@ -247,6 +282,9 @@ def sweep_main(argv) -> int:
                   "with --jobs 1 for a complete picture", file=sys.stderr)
         profiler = cProfile.Profile()
         profiler.enable()
+    if mf is not None and args.server is not None:
+        return _cli_error("--server supports plain sweeps only; "
+                          f"{args.space!r} carries a fidelity: block")
     if mf is not None:
         ladder = " -> ".join([r.evaluator for r in mf.rungs]
                              + [spec.evaluator])
@@ -269,14 +307,22 @@ def sweep_main(argv) -> int:
             return 1
     else:
         runner = SweepRunner(spec, out_dir=args.out, jobs=args.jobs,
-                             progress=progress)
+                             progress=progress, server_url=args.server)
+        where = (f"server={args.server}" if args.server
+                 else f"jobs={args.jobs}")
         print(f"sweep {spec.name}: {total} points "
               f"({spec.sampler} over "
               f"{', '.join(a.name for a in spec.axes)}), "
-              f"evaluator={spec.evaluator}, jobs={args.jobs}"
+              f"evaluator={spec.evaluator}, {where}"
               f"{', resume' if args.resume else ''}", file=sys.stderr)
         t0 = time.perf_counter()
-        records = runner.run(resume=args.resume, limit=args.limit)
+        try:
+            records = runner.run(resume=args.resume, limit=args.limit)
+        except (ConnectionError, OSError) as exc:
+            if args.server is None:
+                raise
+            return _cli_error(
+                f"cannot reach server {args.server!r}: {exc}")
         elapsed = time.perf_counter() - t0
         print(f"completed {len(records)}/{total} points "
               f"({len(failures(records))} failed) in {elapsed:.1f}s",
@@ -394,6 +440,112 @@ def report_main(argv) -> int:
     return 0
 
 
+def serve_main(argv) -> int:
+    """The evaluation-service mode (``python -m repro serve ...``).
+
+    Runs the asyncio HTTP/JSON server (:mod:`repro.serve`) until a
+    SIGTERM/SIGINT drains it gracefully.  The bound URL is announced
+    on stderr (``--port 0`` binds an ephemeral port).  Malformed
+    arguments and bind failures exit 2 with a one-line ``error:``.
+    """
+    import asyncio
+
+    from .serve.server import ServerConfig, run_server
+
+    parser = _CliParser(
+        prog="python -m repro serve",
+        description="Run the flow-evaluation service: an asyncio "
+                    "HTTP/JSON server scheduling flow tasks onto the "
+                    "persistent warm process pool, with cross-client "
+                    "request dedupe and a content-addressed shared "
+                    "result cache")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 8321)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="scheduler/pool worker count (default 2)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared result-store directory (default: "
+                             "the flow cache dir, results/.flow_cache)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.port <= 65535:
+        parser.error(f"port must be in [0, 65535], got {args.port}")
+    if args.workers < 1:
+        parser.error(f"workers must be >= 1, got {args.workers}")
+
+    from pathlib import Path
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None)
+    announce = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    try:
+        asyncio.run(run_server(config, announce=announce))
+    except OSError as exc:
+        return _cli_error(f"cannot bind {args.host}:{args.port}: {exc}")
+    except KeyboardInterrupt:
+        pass  # platforms without add_signal_handler support
+    return 0
+
+
+def cache_main(argv) -> int:
+    """The cache-maintenance mode (``python -m repro cache ...``).
+
+    Prints shared-tier statistics (entries, bytes, lifetime hit/miss
+    counters); ``--gc --max-bytes N`` LRU-evicts entries down to the
+    byte budget first.  Malformed arguments exit 2 with a one-line
+    ``error:``.
+    """
+    from pathlib import Path
+
+    from .core.flow import flow_cache_dir
+    from .serve.store import ContentStore
+
+    parser = _CliParser(
+        prog="python -m repro cache",
+        description="Inspect or garbage-collect the shared "
+                    "content-addressed result cache")
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: the flow cache "
+                             "dir, honouring REPRO_FLOW_CACHE)")
+    parser.add_argument("--gc", action="store_true",
+                        help="LRU-evict entries until the store fits "
+                             "--max-bytes")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N", help="byte budget for --gc")
+    args = parser.parse_args(argv)
+    if args.gc and args.max_bytes is None:
+        parser.error("--gc requires --max-bytes N")
+    if args.max_bytes is not None and not args.gc:
+        parser.error("--max-bytes only applies with --gc")
+    if args.max_bytes is not None and args.max_bytes < 0:
+        parser.error(f"--max-bytes must be >= 0, got {args.max_bytes}")
+
+    root = Path(args.dir) if args.dir else flow_cache_dir()
+    if root is None:
+        return _cli_error("flow cache is disabled "
+                          "(REPRO_FLOW_CACHE=0); nothing to inspect")
+    store = ContentStore(root)
+    if args.gc:
+        removed, freed = store.gc(args.max_bytes)
+        print(f"gc: removed {removed} entries, freed {freed} bytes",
+              file=sys.stderr)
+    stats = store.stats()
+    rate = stats.hit_rate
+    print(format_table(
+        ["field", "value"],
+        [["directory", str(stats.root)],
+         ["entries", stats.entries],
+         ["content-addressed", stats.cas_entries],
+         ["bytes", stats.total_bytes],
+         ["hits", stats.hits],
+         ["misses", stats.misses],
+         ["hit rate", "-" if rate is None else round(rate, 3)]],
+        title="Shared result cache"))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -401,6 +553,10 @@ def main(argv=None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     return run_main(argv)
 
 

@@ -50,7 +50,7 @@ from ..tech.interconnect3d import (cascade, microbump_model,
 from ..tech.interposer import (IntegrationStyle, InterposerSpec, get_spec)
 from ..thermal.model import PackageThermalReport, analyze_package_thermal
 from .fullchip import FullChipSummary, full_chip_summary
-from .pool import get_pool
+from .pool import imap_retry
 
 
 @dataclass
@@ -482,6 +482,58 @@ class FlowTaskSpec:
                 self.target_frequency_mhz, self.with_eyes,
                 self.with_thermal)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict form (round-trips through :meth:`from_dict`).
+
+        This is the wire format the evaluation service
+        (:mod:`repro.serve`) submits tasks in; ``spec_overrides``
+        becomes a plain mapping, everything else stays scalar.
+        """
+        return {
+            "design": self.design,
+            "scale": float(self.scale),
+            "seed": int(self.seed),
+            "target_frequency_mhz": float(self.target_frequency_mhz),
+            "with_eyes": bool(self.with_eyes),
+            "with_thermal": bool(self.with_thermal),
+            "spec_overrides": dict(self.spec_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FlowTaskSpec":
+        """Build a task from the dict form; unknown keys raise."""
+        known = {"design", "scale", "seed", "target_frequency_mhz",
+                 "with_eyes", "with_thermal", "spec_overrides"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown flow task keys: {', '.join(sorted(unknown))}")
+        if "design" not in data:
+            raise ValueError("flow task needs a 'design'")
+        overrides = data.get("spec_overrides", ())
+        if hasattr(overrides, "items"):
+            overrides = tuple(sorted(overrides.items()))
+        return cls(
+            design=str(data["design"]),
+            scale=float(data.get("scale", 1.0)),
+            seed=int(data.get("seed", 2023)),
+            target_frequency_mhz=float(
+                data.get("target_frequency_mhz", 700.0)),
+            with_eyes=bool(data.get("with_eyes", True)),
+            with_thermal=bool(data.get("with_thermal", True)),
+            spec_overrides=tuple(overrides))
+
+
+def task_disk_key(task: FlowTaskSpec) -> str:
+    """The persistent-cache filename stem a task's result lives under.
+
+    Public so the serve subsystem's content-addressed store can treat
+    the existing per-task cache entries as a read-through layer.
+    """
+    return _disk_key(task.design, task.scale, task.seed,
+                     task.target_frequency_mhz, task.with_eyes,
+                     task.with_thermal, task.spec_overrides)
+
 
 @dataclass
 class FlowTaskResult:
@@ -657,13 +709,11 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
                                with_eyes=with_eyes,
                                with_thermal=with_thermal), use_cache)
                  for n in misses]
-        if jobs > 1 and len(misses) > 1:
-            # The persistent pool outlives this call: later fan-outs (and
-            # every point of a DSE sweep) reuse the same warm workers.
-            pool, _reused = get_pool(jobs)
-            outcomes = list(pool.map(_run_flow_task_args, tasks))
-        else:
-            outcomes = [_run_flow_task_args(t) for t in tasks]
+        # The persistent pool outlives this call: later fan-outs (and
+        # every point of a DSE sweep) reuse the same warm workers.  A
+        # worker death mid-batch costs one bounded resubmit of the
+        # unfinished suffix, not the whole batch (imap_retry).
+        outcomes = list(imap_retry(_run_flow_task_args, tasks, jobs))
         for n, out in zip(misses, outcomes):
             if not out.ok:
                 failures[n] = out

@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import atexit
 from concurrent.futures import ProcessPoolExecutor
-from typing import Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple, TypeVar
 
 _POOL = None
 _POOL_SIZE = 0
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 def _warm_import() -> None:
@@ -58,6 +62,61 @@ def shutdown_pool() -> None:
         _POOL.shutdown()
         _POOL = None
         _POOL_SIZE = 0
+
+
+def pool_health() -> Dict[str, object]:
+    """Observability snapshot of the persistent pool.
+
+    Returns ``{"active", "size", "broken"}`` — consumed by the serve
+    subsystem's ``/v1/stats`` endpoint and usable from tests without
+    poking the private module state.
+    """
+    return {
+        "active": _POOL is not None,
+        "size": _POOL_SIZE,
+        "broken": bool(_POOL is not None
+                       and getattr(_POOL, "_broken", False)),
+    }
+
+
+def imap_retry(fn: Callable[[_T], _R], tasks: Sequence[_T], jobs: int,
+               chunksize: int = 1) -> Iterator[_R]:
+    """Map ``fn`` over ``tasks`` on the persistent pool, in order.
+
+    Like ``pool.map`` but resilient to a dying worker: when the pool
+    breaks mid-map (``BrokenProcessPool`` — e.g. a worker was OOM-killed
+    or segfaulted), the already-yielded prefix is kept, the pool is
+    recreated, and the not-yet-yielded suffix is resubmitted **once**.
+    A second break propagates — a deterministic worker-killing task must
+    not retry forever.
+
+    ``jobs <= 1`` (or a single task) runs serially in this process, so
+    callers need no separate serial branch.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield fn(task)
+        return
+    done = 0
+    for attempt in range(2):
+        pool, _reused = get_pool(jobs)
+        try:
+            for out in pool.map(fn, tasks[done:], chunksize=chunksize):
+                yield out
+                done += 1
+            return
+        except BrokenProcessPool:
+            shutdown_pool()
+            if attempt:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_tasks(fn: Callable[[_T], _R], tasks: Sequence[_T],
+              jobs: int, chunksize: int = 1) -> List[_R]:
+    """Eager list form of :func:`imap_retry`."""
+    return list(imap_retry(fn, tasks, jobs, chunksize=chunksize))
 
 
 atexit.register(shutdown_pool)

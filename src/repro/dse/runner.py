@@ -44,7 +44,7 @@ import traceback as traceback_module
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.pool import get_pool
+from ..core.pool import get_pool, imap_retry
 from ..tech.interposer import InterposerSpec
 from .evaluate import PointEvaluationError, evaluate_point
 from .space import SweepSpec
@@ -125,6 +125,12 @@ class SweepRunner:
             around instead of a registered design (stage evaluators
             only; in-memory runs).
         progress: Optional callback receiving one line per point.
+        server_url: Optional ``repro.serve`` evaluation-server URL
+            (e.g. ``http://127.0.0.1:8321``).  When set, points are
+            submitted to the server instead of evaluated locally — the
+            server's scheduler, warm pool, and shared cache tier do the
+            work, and the resulting store is byte-identical to a local
+            run.  ``jobs`` is ignored (concurrency is the server's).
     """
 
     def __init__(self, spec: SweepSpec,
@@ -132,12 +138,17 @@ class SweepRunner:
                  jobs: int = 1,
                  base_spec: Optional[InterposerSpec] = None,
                  persist: bool = True,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 server_url: Optional[str] = None):
         spec.validate()
         self.spec = spec
         self.jobs = max(1, int(jobs))
         self.base_spec = base_spec
         self.progress = progress
+        self.server_url = server_url
+        if server_url is not None and base_spec is not None:
+            raise ValueError("remote sweeps evaluate registered designs; "
+                             "base_spec is local-only")
         if not persist:
             self.out_dir = None
         else:
@@ -268,15 +279,20 @@ class SweepRunner:
             else:
                 plan.append((pos, True))
 
-        if self.jobs > 1 and len(unique_tasks) > 1:
+        if self.server_url is not None:
+            pool_state = "remote"
+            outcomes = self._remote_outcomes(unique_tasks)
+        elif self.jobs > 1 and len(unique_tasks) > 1:
             # Persistent pool (repro.core.pool): reused across run()
             # calls and sweeps, so only the first fan-out in a process
-            # pays worker spin-up and imports.
+            # pays worker spin-up and imports.  imap_retry yields in
+            # submission order, which is point order — the store stays
+            # an ordered prefix of the point list — and resubmits the
+            # unfinished suffix once if a worker dies mid-sweep.
             pool, reused = get_pool(self.jobs)
             pool_state = "warm" if reused else "cold"
-            # map() yields in submission order, which is point order —
-            # the store stays an ordered prefix of the point list.
-            outcomes = pool.map(_evaluate_task, unique_tasks, chunksize=1)
+            outcomes = imap_retry(_evaluate_task, unique_tasks,
+                                  self.jobs, chunksize=1)
         else:
             pool_state = "serial"
             outcomes = map(_evaluate_task, unique_tasks)
@@ -328,6 +344,50 @@ class SweepRunner:
                 points_fh.close()
                 timings_fh.close()
         return records
+
+    # ---------------------------------------------------------------- #
+    # Remote evaluation (repro.serve).
+    # ---------------------------------------------------------------- #
+
+    def _remote_outcomes(self, unique_tasks):
+        """Evaluate unique points on a ``repro.serve`` server.
+
+        All points are submitted up front (the server schedules them
+        onto its pool and dedupes identical in-flight requests — also
+        against other clients), then results are collected in point
+        order, yielding the exact outcome tuples
+        :func:`_evaluate_task` would produce locally: the evaluators
+        are deterministic, so the resulting store is byte-identical.
+        """
+        from ..serve.client import ServeClient
+        from ..serve.protocol import request_for_point
+
+        client = ServeClient(self.server_url)
+        try:
+            handles = [client.submit(request_for_point(sweep, params))
+                       for sweep, _base, _index, params in unique_tasks]
+            for (sweep, _base, index, params), handle \
+                    in zip(unique_tasks, handles):
+                t0 = time.perf_counter()
+                out = client.result(handle.job_id)
+                record: Dict[str, object] = {
+                    "id": sweep.point_id(index),
+                    "index": index,
+                    "params": params,
+                    "metrics": None,
+                    "error": None,
+                }
+                tb: Optional[str] = None
+                if out.error_type is not None:
+                    record["error"] = {"type": out.error_type,
+                                       "message": out.error_message}
+                    tb = out.error_traceback
+                else:
+                    record["metrics"] = {k: _sanitize(v)
+                                         for k, v in out.metrics.items()}
+                yield (record, time.perf_counter() - t0, out.cached, tb)
+        finally:
+            client.close()
 
 
 def run_sweep(spec: SweepSpec, jobs: int = 1,

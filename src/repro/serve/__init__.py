@@ -1,0 +1,41 @@
+"""Async flow-evaluation service with a content-addressed cache tier.
+
+``repro.serve`` turns the repro flow into a long-lived evaluation
+service: an asyncio HTTP/JSON server (stdlib only) that schedules
+flow tasks, stage evaluations, and report renders onto the persistent
+warm process pool, dedupes identical in-flight requests across
+clients, and serves repeat requests from a content-addressed store
+shared with the flow disk cache.
+
+Start it with ``python -m repro serve`` and talk to it with
+:class:`ServeClient` / :class:`AsyncServeClient`, or point a
+:class:`~repro.dse.runner.SweepRunner` at it via ``server_url=``.
+See ``docs/GUIDE.md`` §14.
+"""
+
+from .client import (AsyncServeClient, JobCancelled, JobHandle,
+                     ServeClient, ServeError)
+from .protocol import (EvalRequest, ServeResult, execute_request,
+                       request_for_point)
+from .server import (EvalServer, ServerConfig, ServerHandle,
+                     run_server, start_in_thread)
+from .store import ContentStore, StoreStats
+
+__all__ = [
+    "AsyncServeClient",
+    "ContentStore",
+    "EvalRequest",
+    "EvalServer",
+    "JobCancelled",
+    "JobHandle",
+    "ServeClient",
+    "ServeError",
+    "ServeResult",
+    "ServerConfig",
+    "ServerHandle",
+    "StoreStats",
+    "execute_request",
+    "request_for_point",
+    "run_server",
+    "start_in_thread",
+]

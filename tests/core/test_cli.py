@@ -21,9 +21,14 @@ class TestCli:
         assert "2D monolithic baseline" in out
         assert "footprint" in out
 
-    def test_rejects_unknown_design(self):
-        with pytest.raises(SystemExit):
-            main(["fr4"])
+    def test_rejects_unknown_design(self, capsys):
+        rc = main(["fr4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown design or subcommand")
+        assert "fr4" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_design_alias_accepted(self, capsys):
         # get_spec-style aliases (case/punctuation variants) resolve.
@@ -234,3 +239,107 @@ class TestReportCli:
         err = capsys.readouterr().err
         assert err.startswith("error: cannot report on")
         assert "Traceback" not in err
+
+
+def _one_line_error(capsys) -> str:
+    """Assert the captured stderr is exactly one ``error:`` line."""
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+    return err
+
+
+class TestServeCacheCliErrors:
+    """Operational errors of the serve/cache subcommands: exit 2 with
+    a single-line ``error:`` message, never a traceback or usage dump
+    (same convention as sweep/report)."""
+
+    def test_serve_zero_workers(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--workers", "0"])
+        assert exc.value.code == 2
+        assert "workers must be >= 1" in _one_line_error(capsys)
+
+    def test_serve_port_out_of_range(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "70000"])
+        assert exc.value.code == 2
+        assert "port must be in [0, 65535]" in _one_line_error(capsys)
+
+    def test_serve_non_integer_port(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "eighty"])
+        assert exc.value.code == 2
+        assert "invalid int value" in _one_line_error(capsys)
+
+    def test_serve_unknown_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--replicas", "3"])
+        assert exc.value.code == 2
+        _one_line_error(capsys)
+
+    def test_cache_gc_without_budget(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "--gc"])
+        assert exc.value.code == 2
+        assert "--gc requires --max-bytes" in _one_line_error(capsys)
+
+    def test_cache_budget_without_gc(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "--max-bytes", "1024"])
+        assert exc.value.code == 2
+        assert "--max-bytes only applies with --gc" \
+            in _one_line_error(capsys)
+
+    def test_cache_negative_budget(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "--gc", "--max-bytes", "-1"])
+        assert exc.value.code == 2
+        assert "--max-bytes must be >= 0" in _one_line_error(capsys)
+
+    def test_cache_disabled_store(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "0")
+        rc = main(["cache"])
+        assert rc == 2
+        assert "flow cache is disabled" in _one_line_error(capsys)
+
+    def test_sweep_server_rejects_fidelity_space(self, tmp_path,
+                                                 capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(MF_SPACE_YAML)
+        rc = main(["sweep", "--space", str(space),
+                   "--server", "http://127.0.0.1:1"])
+        assert rc == 2
+        assert "--server supports plain sweeps only" \
+            in _one_line_error(capsys)
+
+    def test_sweep_server_unreachable_one_line_error(self, tmp_path,
+                                                     capsys):
+        space = tmp_path / "space.yaml"
+        space.write_text(SPACE_YAML)
+        rc = main(["sweep", "--space", str(space),
+                   "--out", str(tmp_path / "s"),
+                   "--server", "http://127.0.0.1:1"])
+        assert rc == 2
+        assert "cannot reach server" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    def test_stats_and_gc_round_trip(self, tmp_path, capsys,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_CACHE",
+                           str(tmp_path / "cache"))
+        from repro.serve.protocol import EvalRequest, execute_request
+        from repro.serve.store import ContentStore
+        store = ContentStore()
+        req = EvalRequest(kind="geometry")
+        store.put(req, execute_request(req))
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Shared result cache" in out
+        assert "content-addressed" in out
+        assert main(["cache", "--gc", "--max-bytes", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "gc: removed 1 entries" in captured.err
+        assert store.stats().entries == 0

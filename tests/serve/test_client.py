@@ -1,0 +1,114 @@
+"""Client-library tests: sync and async clients, batches, reconnects."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (AsyncServeClient, EvalRequest, ServeClient,
+                         ServerConfig, start_in_thread)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    import os
+    cache = tmp_path_factory.mktemp("client-cache")
+    old = os.environ.get("REPRO_FLOW_CACHE")
+    os.environ["REPRO_FLOW_CACHE"] = str(cache)
+    handle = start_in_thread(ServerConfig(port=0, workers=1))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+        if old is None:
+            os.environ.pop("REPRO_FLOW_CACHE", None)
+        else:
+            os.environ["REPRO_FLOW_CACHE"] = old
+
+
+class TestSyncClient:
+    def test_url_parsing_accepts_bare_host_port(self, served):
+        bare = served.url.replace("http://", "")
+        with ServeClient(bare) as c:
+            assert c.health()["status"] == "ok"
+
+    def test_rejects_non_http_scheme(self):
+        with pytest.raises(ValueError, match="unsupported scheme"):
+            ServeClient("https://example.com")
+
+    def test_batch_submit(self, served):
+        reqs = [EvalRequest(kind="geometry", scale=1.0 + i / 10)
+                for i in range(3)]
+        with ServeClient(served.url) as c:
+            handles = c.submit_batch(reqs)
+            assert len(handles) == 3
+            assert len({h.job_id for h in handles}) == 3
+            outs = [c.result(h.job_id) for h in handles]
+        assert all(o.ok for o in outs)
+        areas = [o.metrics["interposer_area_mm2"] for o in outs]
+        assert areas == sorted(areas)  # larger scale, larger interposer
+
+    def test_reconnects_after_connection_drop(self, served):
+        with ServeClient(served.url) as c:
+            assert c.health()["status"] == "ok"
+            c._conn.close()  # simulate a dropped keep-alive
+            assert c.health()["status"] == "ok"
+
+    def test_submit_accepts_plain_dicts(self, served):
+        with ServeClient(served.url) as c:
+            out = c.evaluate({"kind": "geometry", "scale": 1.05})
+        assert out.ok
+
+    def test_result_timeout_raises(self, served):
+        with ServeClient(served.url) as c:
+            c.pause()
+            try:
+                handle = c.submit(EvalRequest(kind="geometry",
+                                              scale=2.22))
+                with pytest.raises(TimeoutError):
+                    c.result(handle.job_id, timeout_s=0.3)
+            finally:
+                c.resume()
+                c.result(handle.job_id)
+
+
+class TestAsyncClient:
+    def test_evaluate_and_stats(self, served):
+        async def scenario():
+            async with AsyncServeClient(served.url) as c:
+                health = await c.health()
+                out = await c.evaluate(
+                    EvalRequest(kind="geometry", scale=1.3))
+                again = await c.evaluate(
+                    EvalRequest(kind="geometry", scale=1.3))
+                stats = await c.stats()
+                return health, out, again, stats
+        health, out, again, stats = asyncio.run(scenario())
+        assert health["status"] == "ok"
+        assert out.ok and again.ok
+        assert again.cached
+        assert out.metrics == again.metrics
+        assert stats["requests_served"] > 0
+
+    def test_cancel(self, served):
+        async def scenario():
+            async with AsyncServeClient(served.url) as c:
+                await c._json("POST", "/v1/admin/pause")
+                try:
+                    handle = await c.submit(
+                        EvalRequest(kind="geometry", scale=2.4))
+                    cancelled = await c.cancel(handle.job_id)
+                    return cancelled.state
+                finally:
+                    await c._json("POST", "/v1/admin/resume")
+        assert asyncio.run(scenario()) == "cancelled"
+
+    def test_sync_and_async_results_identical(self, served):
+        req = EvalRequest(kind="link", length_um=1234.0)
+        with ServeClient(served.url) as sc:
+            sync_out = sc.evaluate(req)
+
+        async def scenario():
+            async with AsyncServeClient(served.url) as c:
+                return await c.evaluate(req)
+        async_out = asyncio.run(scenario())
+        assert sync_out.metrics == async_out.metrics

@@ -1,0 +1,126 @@
+"""Wire-type tests: request canonicalization, tokens, execution."""
+
+import pytest
+
+from repro.core.flow import FlowTaskSpec, code_version, run_flow_task
+from repro.serve.protocol import (EvalRequest, execute_request,
+                                  request_for_point)
+
+
+class TestEvalRequestCanonicalization:
+    def test_round_trip(self):
+        req = EvalRequest(kind="link", length_um=1500.0,
+                          spec_overrides=(("tsv_pitch_um", 40.0),))
+        assert EvalRequest.from_dict(req.to_dict()) == req
+
+    def test_overrides_sorted_regardless_of_input_order(self):
+        a = EvalRequest(spec_overrides=(("b", 2.0), ("a", 1.0)))
+        b = EvalRequest(spec_overrides=(("a", 1.0), ("b", 2.0)))
+        assert a == b
+        assert a.cache_token() == b.cache_token()
+
+    def test_alias_resolution_canonicalizes_token(self):
+        fancy = EvalRequest.from_dict({"design": "Glass-2.5D"})
+        plain = EvalRequest.from_dict({"design": "glass_25d"})
+        assert fancy.design == "glass_25d"
+        assert fancy.cache_token() == plain.cache_token()
+
+    def test_token_is_stable_and_code_versioned(self):
+        req = EvalRequest(kind="geometry")
+        assert req.cache_token() == req.cache_token()
+        assert len(req.cache_token()) == 32
+        # Different requests address different entries.
+        assert req.cache_token() != \
+            EvalRequest(kind="geometry", scale=2.0).cache_token()
+        # The code version participates: the canonical JSON alone does
+        # not determine the token.
+        assert code_version()  # non-empty by contract
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown request keys"):
+            EvalRequest.from_dict({"design": "glass_25d",
+                                   "fidelity": "high"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            EvalRequest.from_dict({"kind": "spice"})
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            EvalRequest.from_dict({"design": "fr4"})
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale must be > 0"):
+            EvalRequest.from_dict({"scale": 0})
+
+    def test_flow_task_mapping(self):
+        req = EvalRequest(scale=0.02, seed=11, with_eyes=False,
+                          with_thermal=False)
+        task = req.flow_task()
+        assert task == FlowTaskSpec(design="glass_25d", scale=0.02,
+                                    seed=11,
+                                    target_frequency_mhz=700.0,
+                                    with_eyes=False, with_thermal=False)
+
+    def test_flow_task_requires_flow_kind(self):
+        with pytest.raises(ValueError, match="not a flow task"):
+            EvalRequest(kind="geometry").flow_task()
+
+
+class TestExecuteRequest:
+    def test_geometry_metrics(self):
+        out = execute_request(EvalRequest(kind="geometry"))
+        assert out.ok
+        assert out.metrics["interposer_area_mm2"] > 0
+        # Identical to what the local sweep evaluator computes.
+        from repro.dse.evaluate import evaluate_point
+        from repro.serve.protocol import _stage_sweep_and_params
+        sweep, params = _stage_sweep_and_params(
+            EvalRequest(kind="geometry"))
+        assert out.metrics == evaluate_point(sweep, params)
+
+    def test_flow_matches_direct_evaluation(self, monkeypatch,
+                                            tmp_path):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", str(tmp_path / "c"))
+        req = EvalRequest(scale=0.02, with_eyes=False,
+                          with_thermal=False)
+        out = execute_request(req)
+        direct = run_flow_task(req.flow_task())
+        assert out.ok and direct.ok
+        # Identical evaluator code path: the full DesignResult agrees.
+        assert out.result.fullchip.total_power_mw == \
+            direct.result.fullchip.total_power_mw
+        assert out.result.logic.fmax_mhz == direct.result.logic.fmax_mhz
+
+    def test_error_is_structured_not_raised(self):
+        req = EvalRequest(kind="geometry")
+        object.__setattr__(req, "design", "fr4")  # corrupt post-parse
+        out = execute_request(req)
+        assert not out.ok
+        assert out.error_type == "KeyError"
+        assert "fr4" in out.error_message
+        assert "Traceback" in out.error_traceback
+
+
+class TestRequestForPoint:
+    def test_expands_tied_fields_like_local_evaluator(self):
+        from repro.dse.space import Axis, SweepSpec
+        sweep = SweepSpec(
+            name="t", design="glass_25d", evaluator="link",
+            length_um=1000.0,
+            axes=(Axis("min_wire_width_um", values=(1.0, 2.0),
+                       tied=("min_wire_space_um",)),))
+        req = request_for_point(sweep, {"min_wire_width_um": 2.0})
+        assert dict(req.spec_overrides) == {"min_wire_width_um": 2.0,
+                                            "min_wire_space_um": 2.0}
+        assert req.kind == "link"
+        assert req.length_um == 1000.0
+
+    def test_flow_level_axes_resolve(self):
+        from repro.dse.space import Axis, SweepSpec
+        sweep = SweepSpec(
+            name="t", design="glass_25d", evaluator="link_pdn",
+            axes=(Axis("length_um", values=(500.0, 900.0)),))
+        req = request_for_point(sweep, {"length_um": 900.0})
+        assert req.length_um == 900.0
+        assert req.spec_overrides == ()
