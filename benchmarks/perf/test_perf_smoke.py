@@ -252,3 +252,42 @@ def test_simulate_not_regressed():
     assert elapsed <= baseline * REGRESSION_FACTOR, (
         f"simulate() took {elapsed:.4f}s vs baseline {baseline:.4f}s "
         f"(>{REGRESSION_FACTOR}x regression)")
+
+
+def test_nchiplet_flow_not_regressed():
+    """The 9-chiplet hexagonal flow point — the N-chiplet path's
+    end-to-end cost (partition, 9 chiplet builds, hex placement, pin
+    routing, PDN/SI/thermal) — gated at 2x like the other stages and
+    recorded in results/BENCH_flow.json next to the 2-chiplet point."""
+    clear_cache()
+    t0 = time.perf_counter()
+    result = run_design("glass_25d", scale=0.02, seed=7,
+                        num_chiplets=9, arrangement="hexagonal",
+                        use_cache=False)
+    elapsed = time.perf_counter() - t0
+    assert result.chiplets is not None and len(result.chiplets) == 9
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    bench_path = os.path.join(RESULTS_DIR, "BENCH_flow.json")
+    payload = {}
+    if os.path.exists(bench_path):
+        with open(bench_path) as fh:
+            payload = json.load(fh)
+    payload["nchiplet"] = {
+        "design": "glass_25d",
+        "scale": 0.02,
+        "seed": 7,
+        "num_chiplets": 9,
+        "arrangement": "hexagonal",
+        "wall_s": round(elapsed, 3),
+        "stage_times_s": {k: round(v, 3)
+                          for k, v in (result.stage_times or {}).items()},
+    }
+    with open(bench_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    baseline = _gate_or_rebase("flow_nchiplet_s", elapsed)
+    assert elapsed <= baseline * REGRESSION_FACTOR, (
+        f"9-chiplet hex flow took {elapsed:.4f}s vs baseline "
+        f"{baseline:.4f}s (>{REGRESSION_FACTOR}x regression)")

@@ -32,9 +32,11 @@ import argparse
 import sys
 import time
 
+from .arch.topology import (ARRANGEMENTS, is_default_topology,
+                            validate_topology)
 from .core.flow import run_designs, run_monolithic
 from .core.report import format_table
-from .tech.interposer import get_spec, spec_names
+from .tech.interposer import IntegrationStyle, get_spec, spec_names
 
 #: Subcommand names (everything else is a design name for ``run_main``).
 SUBCOMMANDS = ("sweep", "report", "serve", "cache")
@@ -88,6 +90,15 @@ def run_main(argv) -> int:
                         help="skip eye-diagram simulation")
     parser.add_argument("--no-thermal", action="store_true",
                         help="skip thermal analysis")
+    parser.add_argument("--num-chiplets", type=int, default=2,
+                        metavar="N",
+                        help="parts to split the system netlist into "
+                             "(default 2 = the paper's logic/memory "
+                             "split)")
+    parser.add_argument("--arrangement", default="grid",
+                        help="chiplet arrangement: "
+                             f"{', '.join(ARRANGEMENTS)} "
+                             "(default grid)")
     parser.add_argument("--signoff", action="store_true",
                         help="run the tape-out checklist per design")
     parser.add_argument("--jobs", type=int, default=1,
@@ -100,7 +111,17 @@ def run_main(argv) -> int:
                              "uncached runs)")
     args = parser.parse_args(argv)
 
+    try:
+        num_chiplets, arrangement = validate_topology(
+            args.num_chiplets, args.arrangement)
+    except ValueError as exc:
+        return _cli_error(str(exc))
+    default_topology = is_default_topology(num_chiplets, arrangement)
+
     if args.design == "monolithic":
+        if not default_topology:
+            return _cli_error("the monolithic baseline has no chiplets; "
+                              "--num-chiplets/--arrangement do not apply")
         mono = run_monolithic(scale=args.scale, seed=args.seed)
         print(format_table(
             ["metric", "value"],
@@ -124,6 +145,16 @@ def run_main(argv) -> int:
                 f"designs: "
                 f"{', '.join(spec_names() + ['all', 'monolithic'])}; "
                 f"subcommands: {', '.join(SUBCOMMANDS)}")
+    if not default_topology and arrangement == "stacked":
+        # TSV-stack designs collapse any arrangement to their native
+        # vertical stack; everything else needs a cavity interposer.
+        bad = [n for n in names
+               if get_spec(n).style is not IntegrationStyle.TSV_STACK
+               and not get_spec(n).supports_embedding]
+        if bad:
+            return _cli_error(
+                f"{', '.join(bad)} cannot embed dies; the stacked "
+                f"arrangement needs a cavity interposer")
     print(f"running {', '.join(names)} (scale={args.scale}, "
           f"seed={args.seed}, jobs={args.jobs}"
           f"{', profiled' if args.profile else ''})...", file=sys.stderr)
@@ -133,7 +164,9 @@ def run_main(argv) -> int:
         results = run_designs(names, scale=args.scale, seed=args.seed,
                               with_eyes=not args.no_eyes,
                               with_thermal=not args.no_thermal,
-                              jobs=args.jobs)
+                              jobs=args.jobs,
+                              num_chiplets=num_chiplets,
+                              arrangement=arrangement)
     rows = []
     signoffs = {}
     for name in names:
@@ -178,7 +211,9 @@ def _run_profiled(names, args):
                                    seed=args.seed,
                                    with_eyes=not args.no_eyes,
                                    with_thermal=not args.no_thermal,
-                                   use_cache=False)
+                                   use_cache=False,
+                                   num_chiplets=args.num_chiplets,
+                                   arrangement=args.arrangement)
         profiler.disable()
         pstats_path = os.path.join("results", f"profile_{name}.pstats")
         profiler.dump_stats(pstats_path)

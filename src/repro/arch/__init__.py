@@ -11,16 +11,20 @@ from .noc import (AmatParameters, LinkLatencyReport, LinkParameters,
                   link_latency, serdes_performance_cost, tile_amat)
 from .netlist import Instance, Net, Netlist, Port, PortDirection
 from .openpiton import ChipletRef, OpenPitonSystem
+from .topology import (ARRANGEMENTS, MAX_CHIPLETS, MIN_CHIPLETS,
+                       is_default_topology, validate_topology)
 
 __all__ = [
-    "AmatParameters", "BusSpec", "CellMix", "ChipletRef",
+    "ARRANGEMENTS", "AmatParameters", "BusSpec", "CellMix", "ChipletRef",
     "INTER_TILE_BUSES", "LinkLatencyReport", "LinkParameters",
-    "INTRA_TILE_BUSES", "Instance", "LOGIC_CHIPLET", "MEMORY_CHIPLET",
+    "INTRA_TILE_BUSES", "Instance", "LOGIC_CHIPLET", "MAX_CHIPLETS",
+    "MEMORY_CHIPLET", "MIN_CHIPLETS",
     "ModuleSpec", "Net", "Netlist", "OpenPitonSystem", "Port",
     "PortDirection", "TILE_MODULES", "chiplet_instance_count",
     "generate_chiplet_netlist", "generate_monolithic_netlist",
     "generate_tile_netlist", "get_module",
     "inter_tile_signal_count", "intra_tile_signal_count",
+    "is_default_topology",
     "link_latency", "modules_for_chiplet", "serdes_performance_cost",
-    "tile_amat",
+    "tile_amat", "validate_topology",
 ]

@@ -1,10 +1,11 @@
 """Chiplet physical design: bumps, floorplan, place, route, timing, power."""
 
 from .bumps import Bump, BumpPlan, plan_bumps, plan_for_design
-from .design import ChipletResult, build_chiplet
-from .floorplan import Floorplan, Rect, floorplan
+from .design import (ChipletResult, build_chiplet,
+                     build_chiplet_from_netlist, infer_chiplet_kind)
+from .floorplan import Floorplan, Rect, arrange_outlines, floorplan
 from .iodriver import AIB_DRIVER, AIB_DRIVER_X64, IoDriverSpec
-from .place import Placement, place, placement_stats
+from .place import Placement, hex_spiral, place, placement_stats
 from .power import PowerReport, analyze_power, power_density_map
 from .repeaters import (RepeaterPlan, WireRc, critical_length_um,
                         plan_repeaters)
@@ -17,8 +18,10 @@ __all__ = [
     "Floorplan", "GlobalRoute", "IoDriverSpec", "Placement", "PowerReport",
     "Rect", "RepeaterPlan", "RoutedNet", "TimingReport",
     "WIRE_CAP_FF_PER_UM", "WireRc",
-    "analyze_power", "analyze_timing", "build_chiplet", "congestion_map",
-    "critical_length_um", "floorplan", "global_route", "place",
+    "analyze_power", "analyze_timing", "arrange_outlines",
+    "build_chiplet", "build_chiplet_from_netlist", "congestion_map",
+    "critical_length_um", "floorplan", "global_route", "hex_spiral",
+    "infer_chiplet_kind", "place",
     "placement_stats", "plan_bumps", "plan_repeaters",
     "plan_for_design", "power_density_map",
 ]

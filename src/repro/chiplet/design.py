@@ -16,7 +16,8 @@ from ..arch.generate import generate_chiplet_netlist
 from ..arch.modules import INTER_TILE_BUSES, LOGIC_CHIPLET, MEMORY_CHIPLET
 from ..arch.netlist import Netlist
 from ..tech.interposer import InterposerSpec
-from .bumps import BumpPlan, plan_for_design
+from ..tech.stdcell import CellKind
+from .bumps import BumpPlan, plan_bumps, plan_for_design
 from .floorplan import Floorplan, floorplan
 from .iodriver import AIB_DRIVER, IoDriverSpec
 from .place import Placement, place
@@ -151,6 +152,77 @@ def build_chiplet(kind: str, spec: InterposerSpec, scale: float = 1.0,
 
     # AIB power: every signal pin, at the link activity of the paper's
     # full-chip analysis (data toggles ~15% of cycles on average).
+    aib_power_mw = signal_count * driver.driver_power_uw(
+        power.frequency_mhz * 1e6, activity=0.15) * 1e-3
+
+    return ChipletResult(kind=kind, spec=spec, netlist=netlist,
+                         bump_plan=plan, floorplan=fp, placement=placement,
+                         route=route, timing=timing, power=power,
+                         aib_area_um2=aib_area, aib_power_mw=aib_power_mw)
+
+
+def infer_chiplet_kind(netlist: Netlist) -> str:
+    """Classify a partition as logic- or memory-dominated.
+
+    A part whose cell area is at least half SRAM macros behaves like
+    the paper's memory chiplet (dense, low-toggle) for bump planning
+    and link classification; anything else is logic-like.
+    """
+    sram = 0.0
+    total = 0.0
+    for name in netlist.instances:
+        cell = netlist.cell(name)
+        total += cell.area_um2
+        if cell.kind is CellKind.SRAM_MACRO:
+            sram += cell.area_um2
+    if total <= 0.0:
+        return LOGIC_CHIPLET
+    return MEMORY_CHIPLET if sram / total >= 0.5 else LOGIC_CHIPLET
+
+
+def build_chiplet_from_netlist(netlist: Netlist, spec: InterposerSpec,
+                               kind: Optional[str] = None,
+                               target_frequency_mhz: float = 700.0,
+                               driver: IoDriverSpec = AIB_DRIVER
+                               ) -> ChipletResult:
+    """Implement one pre-partitioned chiplet netlist on one technology.
+
+    The N-chiplet generalization of :func:`build_chiplet`: instead of
+    generating the paper's logic or memory netlist, it takes any part
+    carved out of the monolithic system by
+    :meth:`~repro.arch.netlist.Netlist.subset` and runs the same
+    bump-plan → floorplan → place → route → timing → power pipeline.
+    The signal bump count is the part's port count — one escape per
+    cut net — so the partitioner's cut quality shows up directly in
+    die area and AIB power.
+
+    Args:
+        netlist: The chiplet's flat netlist (cut nets exposed as ports).
+        spec: Target interposer technology.
+        kind: ``"logic"`` / ``"memory"``; inferred from the SRAM area
+            fraction (:func:`infer_chiplet_kind`) when omitted.
+        target_frequency_mhz: Timing/power sign-off clock.
+        driver: I/O driver characterization.
+
+    Returns:
+        A :class:`ChipletResult` for the part.
+    """
+    if kind is None:
+        kind = infer_chiplet_kind(netlist)
+    elif kind not in (LOGIC_CHIPLET, MEMORY_CHIPLET):
+        raise ValueError(f"kind must be 'logic' or 'memory', got {kind!r}")
+    signal_count = max(1, len(netlist.ports))
+    aib_area = driver.total_area_um2(signal_count)
+    plan = plan_bumps(
+        signal_count, spec,
+        min_cell_area_um2=netlist.total_cell_area_um2() + aib_area)
+
+    width_um = plan.width_mm * 1000.0
+    fp = floorplan(netlist, width_um, width_um)
+    placement = place(netlist, fp)
+    route = global_route(placement)
+    timing = analyze_timing(route, target_frequency_mhz)
+    power = analyze_power(route, frequency_mhz=target_frequency_mhz)
     aib_power_mw = signal_count * driver.driver_power_uw(
         power.frequency_mhz * 1e6, activity=0.15) * 1e-3
 

@@ -9,8 +9,9 @@ generation-index order, preserving the netlist's built-in locality.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..arch.netlist import Netlist
 
@@ -112,6 +113,66 @@ def floorplan(netlist: Netlist, width_um: float, height_um: float,
     _slice(core, order, module_area, regions)
     return Floorplan(die=die, core=core, regions=regions,
                      utilization=utilization)
+
+
+def arrange_outlines(widths: Sequence[float], arrangement: str,
+                     gap: float, margin: float) -> List[Rect]:
+    """Pack ``len(widths)`` square die outlines in a lateral arrangement.
+
+    Unit-agnostic (mm in the interposer placer, um in tests): outputs
+    are in the same unit as the inputs.  Supported arrangements are the
+    lateral ones — ``row`` (one strip, bottom-aligned), ``grid``
+    (row-major near-square array), and ``hexagonal`` (sites on a
+    HexaMesh-style hex spiral).  Grid and hex use a uniform site pitch
+    of ``max(widths) + gap`` with each die centered in its site, so
+    heterogeneous die sizes never collide.  The bounding box of the
+    outlines is shifted so its lower-left corner sits at
+    ``(margin, margin)``.
+
+    Args:
+        widths: Side length of each (square) die outline.
+        arrangement: ``"row"``, ``"grid"``, or ``"hexagonal"``.
+        gap: Minimum edge-to-edge spacing between dies.
+        margin: Clearance between the outline cluster and the origin.
+
+    Returns:
+        One :class:`Rect` per die, in input order.
+
+    Raises:
+        ValueError: On an empty list or a non-lateral arrangement.
+    """
+    if not widths:
+        raise ValueError("need at least one die outline")
+    n = len(widths)
+    pitch = max(widths) + gap
+    if arrangement == "row":
+        rects = []
+        x = 0.0
+        for w in widths:
+            rects.append(Rect(x, 0.0, w, w))
+            x += w + gap
+    elif arrangement == "grid":
+        cols = int(math.ceil(math.sqrt(n)))
+        rects = []
+        for i, w in enumerate(widths):
+            col, row = i % cols, i // cols
+            off = (pitch - gap - w) / 2.0
+            rects.append(Rect(col * pitch + off, row * pitch + off, w, w))
+    elif arrangement == "hexagonal":
+        from .place import hex_spiral  # local: place imports floorplan
+        coords = hex_spiral(n)
+        rects = []
+        for (q, r), w in zip(coords, widths):
+            cx = pitch * (q + r / 2.0)
+            cy = pitch * (r * math.sqrt(3.0) / 2.0)
+            rects.append(Rect(cx - w / 2.0, cy - w / 2.0, w, w))
+    else:
+        raise ValueError(f"arrangement {arrangement!r} is not a lateral "
+                         f"packing (expected row, grid, or hexagonal)")
+    min_x = min(r.x for r in rects)
+    min_y = min(r.y for r in rects)
+    return [Rect(r.x - min_x + margin, r.y - min_y + margin, r.w, r.h)
+            for r in rects]
 
 
 def _slice(region: Rect, modules: List[str], areas: Dict[str, float],

@@ -140,6 +140,44 @@ def _fill_hilbert(members: List[str], region: Rect,
     y[rows] = py
 
 
+#: Axial-coordinate neighbor steps of a hex grid, in the counter-
+#: clockwise walk order the spiral uses after jumping to a ring start.
+_HEX_DIRECTIONS = ((-1, 1), (-1, 0), (0, -1), (1, -1), (1, 0), (0, 1))
+
+
+def hex_spiral(n: int) -> List[Tuple[int, int]]:
+    """First ``n`` axial hex-grid coordinates in spiral order.
+
+    HexaMesh-style packing: the center cell first, then rings walked
+    counter-clockwise at increasing radius, so any prefix of the
+    sequence is a compact near-circular cluster.  Ring ``k`` holds
+    ``6k`` cells, so ``n`` sites span radius ``O(sqrt(n))``.
+
+    Args:
+        n: Number of sites (>= 1).
+
+    Returns:
+        ``n`` distinct ``(q, r)`` axial coordinates.  Cartesian centers
+        follow as ``x = q + r/2`` and ``y = r * sqrt(3)/2`` (in units
+        of the site pitch).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one site, got {n}")
+    out: List[Tuple[int, int]] = [(0, 0)]
+    ring = 0
+    while len(out) < n:
+        ring += 1
+        # Ring start: `ring` steps along +q from the center.
+        q, r = ring, 0
+        for dq, dr in _HEX_DIRECTIONS:
+            for _ in range(ring):
+                if len(out) >= n:
+                    return out
+                out.append((q, r))
+                q, r = q + dq, r + dr
+    return out
+
+
 def placement_stats(placement: Placement) -> Dict[str, float]:
     """Quick placement quality metrics (used by tests and reports)."""
     fp = placement.floorplan

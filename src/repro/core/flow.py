@@ -28,7 +28,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..arch.generate import generate_monolithic_netlist
-from ..chiplet.design import ChipletResult, build_chiplet
+from ..arch.topology import is_default_topology, validate_topology
+from ..chiplet.design import (ChipletResult, build_chiplet,
+                              build_chiplet_from_netlist)
 from ..chiplet.floorplan import floorplan
 from ..chiplet.place import place
 from ..chiplet.power import analyze_power, power_density_map
@@ -36,8 +38,11 @@ from ..chiplet.route import global_route
 from ..chiplet.timing import analyze_timing
 from ..circuit.mna import reset_solver_counters, solver_counters
 from ..interposer.pdn import PdnStackup, build_pdn
-from ..interposer.placement import InterposerPlacement, place_dies
-from ..interposer.routing import InterposerRoute, route_interposer
+from ..interposer.placement import (InterposerPlacement, place_chiplets,
+                                    place_dies)
+from ..interposer.routing import (InterposerRoute, PinLink,
+                                  route_interposer, route_interposer_pins)
+from ..partition.multiway import nway_partition, pairwise_cut_links
 from ..pi.impedance import PdnImpedanceReport, analyze_pdn_impedance
 from ..pi.irdrop import IrDropReport, solve_plane_ir_drop
 from ..pi.transient import PowerTransientReport, analyze_power_transient
@@ -49,7 +54,8 @@ from ..tech.interconnect3d import (cascade, microbump_model,
                                    stacked_via_model, tsv_model)
 from ..tech.interposer import (IntegrationStyle, InterposerSpec, get_spec)
 from ..thermal.model import PackageThermalReport, analyze_package_thermal
-from .fullchip import FullChipSummary, full_chip_summary
+from .fullchip import (FullChipSummary, full_chip_summary,
+                       full_chip_summary_nway)
 from .pool import imap_retry
 
 
@@ -86,6 +92,15 @@ class DesignResult:
     #: Per-stage solver-counter deltas (stage name → counter dict), the
     #: breakdown behind ``solver_stats``; observability only.
     stage_solver_stats: Optional[Dict[str, Dict[str, int]]] = None
+    #: All implemented parts of an N-chiplet run (``None`` on the
+    #: paper's 2-chiplet path, where ``logic``/``memory`` are the whole
+    #: story; on N-chiplet runs those two fields alias representative
+    #: parts out of this tuple).
+    chiplets: Optional[Tuple[ChipletResult, ...]] = None
+    #: The topology axes this point was run at (see
+    #: :mod:`repro.arch.topology`).
+    num_chiplets: int = 2
+    arrangement: str = "grid"
 
     def table4_row(self) -> Dict[str, object]:
         """One column of Table IV (interposer design results)."""
@@ -96,7 +111,7 @@ class DesignResult:
             "area_mm2": round(self.placement.area_mm2, 2),
             "power_mw": round(self.fullchip.total_power_mw, 2),
         }
-        if self.route is not None:
+        if self.route is not None and self.route.routed_nets():
             routed = self.route.routed_nets()
             lengths = [n.length_mm for n in routed]
             row.update({
@@ -174,9 +189,17 @@ def _apply_overrides(spec: InterposerSpec,
 
 #: Deterministic result cache:
 #: (name, overrides, scale, seed, target_frequency_mhz, with_eyes,
-#: with_thermal) → DesignResult.
-_CACHE: Dict[Tuple[str, OverridesKey, float, int, float, bool, bool],
-             DesignResult] = {}
+#: with_thermal) → DesignResult.  Non-default topologies append
+#: (num_chiplets, arrangement) to the key — the default pair keeps the
+#: original key shape so existing entries stay addressable.
+_CACHE: Dict[Tuple[object, ...], DesignResult] = {}
+
+
+def _topology_key(num_chiplets: int, arrangement: str) -> Tuple[object, ...]:
+    """Cache-key suffix for the topology axes (empty for the default)."""
+    if is_default_topology(num_chiplets, arrangement):
+        return ()
+    return (num_chiplets, arrangement)
 
 
 def clear_cache() -> None:
@@ -223,11 +246,14 @@ def flow_cache_dir() -> Optional[Path]:
 
 def _disk_key(name: str, scale: float, seed: int,
               target_frequency_mhz: float, with_eyes: bool,
-              with_thermal: bool, overrides: OverridesKey = ()) -> str:
+              with_thermal: bool, overrides: OverridesKey = (),
+              num_chiplets: int = 2, arrangement: str = "grid") -> str:
     tag = ""
     if overrides:
         digest = hashlib.sha1(repr(overrides).encode()).hexdigest()[:10]
         tag = f"-o{digest}"
+    if not is_default_topology(num_chiplets, arrangement):
+        tag += f"-n{num_chiplets}-a{arrangement}"
     return (f"{name}-s{scale}-r{seed}-f{target_frequency_mhz}"
             f"-e{int(with_eyes)}-t{int(with_thermal)}{tag}-{code_version()}")
 
@@ -302,13 +328,60 @@ def _channels_for(spec: InterposerSpec,
     return l2m, l2l
 
 
+def _longest_um(route: InterposerRoute, kind: str) -> Optional[float]:
+    """Longest routed length of one net kind in um, or ``None``."""
+    lengths = [n.length_mm for n in route.nets if n.kind == kind]
+    if not lengths:
+        return None
+    return max(lengths) * 1000.0
+
+
+def _channels_for_nchiplet(spec: InterposerSpec,
+                           route: Optional[InterposerRoute]
+                           ) -> Tuple[Channel, Channel]:
+    """Worst-case mixed-kind (l2m) and same-kind (l2l) channels for an
+    N-chiplet point.
+
+    Same technology models as :func:`_channels_for`, but robust to
+    partitions where one link class is absent: a missing class borrows
+    the other's worst length (the electrical worst case on the same
+    interposer), and a fully stacked route falls back to the vertical
+    via model.
+    """
+    if spec.style is IntegrationStyle.TSV_STACK:
+        l2m = Channel(f"{spec.name}/l2m", lumped=microbump_model())
+        l2l = Channel(f"{spec.name}/l2l",
+                      lumped=cascade(tsv_model(), tsv_model()))
+        return l2m, l2l
+    assert route is not None
+    line = line_for_spec(spec)
+    l2m_len = _longest_um(route, "l2m")
+    l2l_len = _longest_um(route, "l2l")
+    stacked = any(n.kind == "stacked_via" for n in route.nets)
+    lateral_worst = max(l2m_len or 0.0, l2l_len or 0.0)
+
+    l2l = Channel(f"{spec.name}/l2l", line=line,
+                  length_um=max(l2l_len or lateral_worst, 10.0))
+    if l2m_len is None and stacked:
+        l2m = Channel(f"{spec.name}/l2m",
+                      lumped=stacked_via_model(
+                          via_size_um=spec.via_size_um,
+                          dielectric_thickness_um=spec.dielectric_thickness_um,
+                          num_layers=spec.metal_layers))
+    else:
+        l2m = Channel(f"{spec.name}/l2m", line=line,
+                      length_um=max(l2m_len or lateral_worst, 10.0))
+    return l2m, l2l
+
+
 def run_design(name: str, scale: float = 1.0, seed: int = 2023,
                target_frequency_mhz: float = 700.0,
                with_eyes: bool = True,
                with_thermal: bool = True,
                use_cache: bool = True,
-               spec_overrides: Optional[Mapping[str, object]] = None
-               ) -> DesignResult:
+               spec_overrides: Optional[Mapping[str, object]] = None,
+               num_chiplets: int = 2,
+               arrangement: str = "grid") -> DesignResult:
     """Run the complete co-design flow for one design point.
 
     Args:
@@ -323,21 +396,37 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
             (e.g. ``{"microbump_pitch_um": 50.0}``) applied on top of the
             registered spec — the hook the design-space explorer sweeps
             through.  Identity fields (name/style/routing) are protected.
+        num_chiplets: How many chiplets to partition the system into
+            (see :mod:`repro.arch.topology`).  The default ``2`` runs
+            the paper's logic/memory split bit-identically; other
+            values N-way-partition the monolithic netlist.
+        arrangement: Die packing for the N-chiplet path (``grid``,
+            ``row``, ``hexagonal``, or ``stacked``).
 
     Returns:
         A fully populated :class:`DesignResult`.
     """
+    num_chiplets, arrangement = validate_topology(num_chiplets,
+                                                  arrangement)
     overrides = _overrides_key(spec_overrides)
+    topo = _topology_key(num_chiplets, arrangement)
     key = (name, overrides, scale, seed, target_frequency_mhz,
-           with_eyes, with_thermal)
+           with_eyes, with_thermal) + topo
     if use_cache:
         hit = _CACHE.get(key)
         if hit is None and not (with_eyes and with_thermal):
             # A full run supersedes any partial request at the same point.
             hit = _CACHE.get((name, overrides, scale, seed,
-                              target_frequency_mhz, True, True))
+                              target_frequency_mhz, True, True) + topo)
         if hit is not None:
             return hit
+    if topo:
+        result = _run_design_nchiplet(
+            name, overrides, scale, seed, target_frequency_mhz,
+            with_eyes, with_thermal, num_chiplets, arrangement)
+        if use_cache:
+            _CACHE[key] = result
+        return result
     stage_times: Dict[str, float] = {}
     stage_solver_stats: Dict[str, Dict[str, int]] = {}
     reset_solver_counters()
@@ -448,6 +537,143 @@ def run_design(name: str, scale: float = 1.0, seed: int = 2023,
     return result
 
 
+def _run_design_nchiplet(name: str, overrides: OverridesKey, scale: float,
+                         seed: int, target_frequency_mhz: float,
+                         with_eyes: bool, with_thermal: bool,
+                         num_chiplets: int,
+                         arrangement: str) -> DesignResult:
+    """The generalized N-chiplet flow body behind :func:`run_design`.
+
+    Partitions the monolithic two-tile system netlist ``num_chiplets``
+    ways (min-cut, see :func:`repro.partition.multiway.nway_partition`),
+    implements each part with the ordinary chiplet pipeline, packs the
+    dies per ``arrangement``, derives the inter-chiplet link bundles
+    from the partition's pairwise cut counts, and then reuses every
+    downstream stage — routing, PDN, SI, PI, thermal, roll-up —
+    unchanged on the resulting multi-chiplet placement.
+    """
+    stage_times: Dict[str, float] = {}
+    stage_solver_stats: Dict[str, Dict[str, int]] = {}
+    reset_solver_counters()
+
+    def _stage_counters(stage: str, before: Dict[str, int]) -> None:
+        after = solver_counters()
+        stage_solver_stats[stage] = {k: after[k] - before.get(k, 0)
+                                     for k in after}
+
+    t_total = time.perf_counter()
+    spec = get_spec(name)
+    if overrides:
+        spec = _apply_overrides(spec, dict(overrides))
+
+    t0 = time.perf_counter()
+    c0 = solver_counters()
+    system = generate_monolithic_netlist(scale=scale, seed=seed)
+    part = nway_partition(system, num_chiplets, seed=seed)
+    chiplets = tuple(
+        build_chiplet_from_netlist(
+            system.subset(part.part(i), name=f"chiplet{i}"), spec,
+            target_frequency_mhz=target_frequency_mhz)
+        for i in range(part.k))
+    kinds = [c.kind for c in chiplets]
+    placement = place_chiplets(spec, [c.bump_plan for c in chiplets],
+                               kinds, arrangement)
+    links: List[PinLink] = []
+    for (i, j), count in sorted(pairwise_cut_links(
+            system, part.assignment).items()):
+        kind = "l2m" if kinds[i] != kinds[j] else "l2l"
+        links.append((f"chiplet{i}", f"chiplet{j}", kind, count))
+    stage_times["chiplets"] = time.perf_counter() - t0
+    _stage_counters("chiplets", c0)
+
+    route = None
+    pdn = None
+    pdn_imp = None
+    ir = None
+    transient = None
+    if spec.style is not IntegrationStyle.TSV_STACK:
+        t0 = time.perf_counter()
+        c0 = solver_counters()
+        pin_map = {f"chiplet{i}": c.bump_plan.signal_positions()
+                   for i, c in enumerate(chiplets)}
+        route = route_interposer_pins(placement, pin_map, links)
+        stage_times["routing"] = time.perf_counter() - t0
+        _stage_counters("routing", c0)
+        if route.stats is not None:
+            stage_times["routing/pattern"] = route.stats.pattern_time_s
+            stage_times["routing/rrr"] = route.stats.rrr_time_s
+            stage_times["routing/maze"] = route.stats.maze_time_s
+        t0 = time.perf_counter()
+        c0 = solver_counters()
+        pdn = build_pdn(placement)
+        pdn_imp = analyze_pdn_impedance(pdn)
+        powers = {d.name: chiplets[d.tile].power.total_mw * 1e-3
+                  for d in placement.dies}
+        ir = solve_plane_ir_drop(placement, pdn, powers)
+        transient = analyze_power_transient(pdn, sum(powers.values()))
+        stage_times["pdn"] = time.perf_counter() - t0
+        _stage_counters("pdn", c0)
+
+    t0 = time.perf_counter()
+    c0 = solver_counters()
+    l2m_ch, l2l_ch = _channels_for_nchiplet(spec, route)
+    l2m_rep = measure_channel(l2m_ch, target_frequency_mhz * 1e6)
+    l2l_rep = measure_channel(l2l_ch, target_frequency_mhz * 1e6)
+    stage_times["channels"] = time.perf_counter() - t0
+    _stage_counters("channels", c0)
+
+    l2m_eye = l2l_eye = None
+    if with_eyes:
+        t0 = time.perf_counter()
+        c0 = solver_counters()
+        coupled = coupled_line_for_spec(spec)
+        l2m_eye = simulate_eye(line=l2m_ch.line,
+                               length_um=l2m_ch.length_um,
+                               lumped=l2m_ch.lumped, coupled=coupled,
+                               num_bits=64)
+        l2l_eye = simulate_eye(line=l2l_ch.line,
+                               length_um=l2l_ch.length_um,
+                               lumped=l2l_ch.lumped, coupled=coupled,
+                               num_bits=64)
+        stage_times["eyes"] = time.perf_counter() - t0
+        _stage_counters("eyes", c0)
+
+    thermal = None
+    if with_thermal:
+        t0 = time.perf_counter()
+        c0 = solver_counters()
+        powers = {d.name: chiplets[d.tile].power.total_mw * 1e-3
+                  for d in placement.dies}
+        maps = {d.name: power_density_map(chiplets[d.tile].route,
+                                          chiplets[d.tile].power)
+                for d in placement.dies}
+        thermal = analyze_package_thermal(placement, powers, maps)
+        stage_times["thermal"] = time.perf_counter() - t0
+        _stage_counters("thermal", c0)
+
+    l2m_signals = sum(c for _, _, k, c in links if k == "l2m")
+    l2l_signals = sum(c for _, _, k, c in links if k == "l2l")
+    fullchip = full_chip_summary_nway(chiplets, l2m_rep, l2l_rep,
+                                      l2m_signals, l2l_signals)
+
+    # Representative parts keep the 2-chiplet accessors (tables, sweep
+    # metrics) meaningful on N-chiplet results.
+    logic = next((c for c in chiplets if c.kind == "logic"), chiplets[0])
+    memory = next((c for c in chiplets if c.kind == "memory"),
+                  chiplets[-1])
+    stage_times["total"] = time.perf_counter() - t_total
+    solver_stats = solver_counters()
+    return DesignResult(
+        spec=spec, logic=logic, memory=memory, placement=placement,
+        route=route, pdn=pdn, pdn_impedance=pdn_imp, ir_drop=ir,
+        power_transient=transient, l2m_channel=l2m_rep,
+        l2l_channel=l2l_rep, l2m_eye=l2m_eye, l2l_eye=l2l_eye,
+        thermal=thermal, fullchip=fullchip, stage_times=stage_times,
+        solver_stats=solver_stats, stage_solver_stats=stage_solver_stats,
+        chiplets=chiplets, num_chiplets=num_chiplets,
+        arrangement=arrangement)
+
+
 # --------------------------------------------------------------------- #
 # Single-point task API (structured error capture).
 # --------------------------------------------------------------------- #
@@ -470,17 +696,22 @@ class FlowTaskSpec:
     with_eyes: bool = True
     with_thermal: bool = True
     spec_overrides: OverridesKey = ()
+    num_chiplets: int = 2
+    arrangement: str = "grid"
 
     def __post_init__(self):
         canonical = tuple(sorted(tuple(self.spec_overrides)))
         object.__setattr__(self, "spec_overrides", canonical)
+        count, arr = validate_topology(self.num_chiplets, self.arrangement)
+        object.__setattr__(self, "num_chiplets", count)
+        object.__setattr__(self, "arrangement", arr)
 
-    def cache_key(self) -> Tuple[str, OverridesKey, float, int, float,
-                                 bool, bool]:
+    def cache_key(self) -> Tuple[object, ...]:
         """The in-process cache key this task resolves to."""
         return (self.design, self.spec_overrides, self.scale, self.seed,
                 self.target_frequency_mhz, self.with_eyes,
-                self.with_thermal)
+                self.with_thermal) + _topology_key(self.num_chiplets,
+                                                   self.arrangement)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict form (round-trips through :meth:`from_dict`).
@@ -497,13 +728,16 @@ class FlowTaskSpec:
             "with_eyes": bool(self.with_eyes),
             "with_thermal": bool(self.with_thermal),
             "spec_overrides": dict(self.spec_overrides),
+            "num_chiplets": int(self.num_chiplets),
+            "arrangement": str(self.arrangement),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "FlowTaskSpec":
         """Build a task from the dict form; unknown keys raise."""
         known = {"design", "scale", "seed", "target_frequency_mhz",
-                 "with_eyes", "with_thermal", "spec_overrides"}
+                 "with_eyes", "with_thermal", "spec_overrides",
+                 "num_chiplets", "arrangement"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -521,7 +755,9 @@ class FlowTaskSpec:
                 data.get("target_frequency_mhz", 700.0)),
             with_eyes=bool(data.get("with_eyes", True)),
             with_thermal=bool(data.get("with_thermal", True)),
-            spec_overrides=tuple(overrides))
+            spec_overrides=tuple(overrides),
+            num_chiplets=data.get("num_chiplets", 2),
+            arrangement=data.get("arrangement", "grid"))
 
 
 def task_disk_key(task: FlowTaskSpec) -> str:
@@ -532,7 +768,8 @@ def task_disk_key(task: FlowTaskSpec) -> str:
     """
     return _disk_key(task.design, task.scale, task.seed,
                      task.target_frequency_mhz, task.with_eyes,
-                     task.with_thermal, task.spec_overrides)
+                     task.with_thermal, task.spec_overrides,
+                     task.num_chiplets, task.arrangement)
 
 
 @dataclass
@@ -576,16 +813,19 @@ def run_flow_task(task: FlowTaskSpec,
     t0 = time.perf_counter()
     try:
         if use_cache:
+            topo = _topology_key(task.num_chiplets, task.arrangement)
             hit = _CACHE.get(task.cache_key())
             if hit is None and not (task.with_eyes and task.with_thermal):
                 hit = _CACHE.get((task.design, task.spec_overrides,
                                   task.scale, task.seed,
-                                  task.target_frequency_mhz, True, True))
+                                  task.target_frequency_mhz, True, True)
+                                 + topo)
             if hit is None:
                 hit = _disk_load(_disk_key(
                     task.design, task.scale, task.seed,
                     task.target_frequency_mhz, task.with_eyes,
-                    task.with_thermal, task.spec_overrides))
+                    task.with_thermal, task.spec_overrides,
+                    task.num_chiplets, task.arrangement))
                 if hit is not None:
                     _CACHE[task.cache_key()] = hit
             if hit is not None:
@@ -597,12 +837,16 @@ def run_flow_task(task: FlowTaskSpec,
             target_frequency_mhz=task.target_frequency_mhz,
             with_eyes=task.with_eyes, with_thermal=task.with_thermal,
             use_cache=use_cache,
-            spec_overrides=dict(task.spec_overrides) or None)
+            spec_overrides=dict(task.spec_overrides) or None,
+            num_chiplets=task.num_chiplets,
+            arrangement=task.arrangement)
         if use_cache:
             _disk_store(_disk_key(task.design, task.scale, task.seed,
                                   task.target_frequency_mhz,
                                   task.with_eyes, task.with_thermal,
-                                  task.spec_overrides), result)
+                                  task.spec_overrides,
+                                  task.num_chiplets,
+                                  task.arrangement), result)
         return FlowTaskResult(task=task, result=result,
                               wall_s=time.perf_counter() - t0)
     except Exception as exc:  # noqa: BLE001 — the point is to capture
@@ -646,7 +890,9 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
                 target_frequency_mhz: float = 700.0,
                 with_eyes: bool = True, with_thermal: bool = True,
                 jobs: int = 1,
-                use_cache: bool = True) -> Dict[str, DesignResult]:
+                use_cache: bool = True,
+                num_chiplets: int = 2,
+                arrangement: str = "grid") -> Dict[str, DesignResult]:
     """Run several design points, optionally in parallel worker processes.
 
     Results are identical to calling :func:`run_design` per name; the
@@ -669,6 +915,9 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
         jobs: Worker processes for cache misses (1 = run serially in
             this process).
         use_cache: Reuse/populate the in-process and disk caches.
+        num_chiplets: Chiplet count shared by all points (see
+            :func:`run_design`).
+        arrangement: Die packing shared by all points.
 
     Returns:
         Mapping from design name to its :class:`DesignResult`.
@@ -676,6 +925,9 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
     Raises:
         FlowBatchError: If any task failed (after all tasks finished).
     """
+    num_chiplets, arrangement = validate_topology(num_chiplets,
+                                                  arrangement)
+    topo = _topology_key(num_chiplets, arrangement)
     ordered: List[str] = []
     for n in names:
         if n not in ordered:
@@ -687,15 +939,18 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
     for n in ordered:
         if use_cache:
             mem_key = (n, (), scale, seed, target_frequency_mhz,
-                       with_eyes, with_thermal)
+                       with_eyes, with_thermal) + topo
             hit = _CACHE.get(mem_key)
             if hit is None and not (with_eyes and with_thermal):
                 hit = _CACHE.get((n, (), scale, seed,
-                                  target_frequency_mhz, True, True))
+                                  target_frequency_mhz, True, True)
+                                 + topo)
             if hit is None:
                 hit = _disk_load(_disk_key(n, scale, seed,
                                            target_frequency_mhz,
-                                           with_eyes, with_thermal))
+                                           with_eyes, with_thermal,
+                                           num_chiplets=num_chiplets,
+                                           arrangement=arrangement))
                 if hit is not None:
                     _CACHE[mem_key] = hit
             if hit is not None:
@@ -707,7 +962,9 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
         tasks = [(FlowTaskSpec(design=n, scale=scale, seed=seed,
                                target_frequency_mhz=target_frequency_mhz,
                                with_eyes=with_eyes,
-                               with_thermal=with_thermal), use_cache)
+                               with_thermal=with_thermal,
+                               num_chiplets=num_chiplets,
+                               arrangement=arrangement), use_cache)
                  for n in misses]
         # The persistent pool outlives this call: later fan-outs (and
         # every point of a DSE sweep) reuse the same warm workers.  A
@@ -721,12 +978,14 @@ def run_designs(names: Sequence[str], scale: float = 1.0, seed: int = 2023,
             results[n] = out.result
             if use_cache:
                 _CACHE[(n, (), scale, seed, target_frequency_mhz,
-                        with_eyes, with_thermal)] = out.result
+                        with_eyes, with_thermal) + topo] = out.result
                 # Worker processes persist to disk themselves; store again
                 # here so serial in-process runs are covered too.
                 _disk_store(_disk_key(n, scale, seed,
                                       target_frequency_mhz,
-                                      with_eyes, with_thermal),
+                                      with_eyes, with_thermal,
+                                      num_chiplets=num_chiplets,
+                                      arrangement=arrangement),
                             out.result)
 
     if failures:

@@ -11,7 +11,7 @@ chiplet, with off-chip propagation checked against the clock period
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..chiplet.design import ChipletResult
 from ..si.channel import ChannelReport
@@ -73,6 +73,55 @@ def full_chip_summary(logic: ChipletResult, memory: ChipletResult,
     timing_met = worst_link <= period_ps
     if not timing_met:
         # Off-chip link limits the system clock (pipelined budget = 1T).
+        fmax = 1e6 / worst_link
+    return FullChipSummary(
+        total_power_mw=chiplet_mw + intra_mw + inter_mw,
+        chiplet_power_mw=chiplet_mw,
+        intra_tile_power_mw=intra_mw,
+        inter_tile_power_mw=inter_mw,
+        system_fmax_mhz=fmax,
+        offchip_timing_met=timing_met,
+        worst_link_delay_ps=worst_link)
+
+
+def full_chip_summary_nway(chiplets: Sequence[ChipletResult],
+                           l2m_link: ChannelReport,
+                           l2l_link: Optional[ChannelReport],
+                           l2m_signals: int,
+                           l2l_signals: int) -> FullChipSummary:
+    """System roll-up for an N-chiplet partition.
+
+    The N-way twin of :func:`full_chip_summary`: chiplet power is the
+    sum over all parts (each implemented once — parts are distinct,
+    unlike the paper's tile-replicated pair), and the link terms use
+    the partition's actual pairwise link counts.  Links between
+    logic- and memory-class dies are billed at the measured
+    logic-to-memory channel, same-class links at the logic-to-logic
+    channel, keeping the Table IV decomposition
+    ``P = P_chiplet + P_l2m + P_l2l``.
+
+    Args:
+        chiplets: Implemented parts (at least one).
+        l2m_link: Worst-case mixed-kind link measurement.
+        l2l_link: Worst-case same-kind link; ``None`` when the
+            partition has no same-kind links.
+        l2m_signals: Total mixed-kind nets across all die pairs.
+        l2l_signals: Total same-kind nets across all die pairs.
+    """
+    if not chiplets:
+        raise ValueError("need at least one chiplet")
+    chiplet_mw = sum(c.power.total_mw for c in chiplets)
+    intra_mw = l2m_signals * l2m_link.total_power_uw * 1e-3
+    inter_mw = 0.0
+    worst_link = l2m_link.total_delay_ps
+    if l2l_link is not None and l2l_signals > 0:
+        inter_mw = l2l_signals * l2l_link.total_power_uw * 1e-3
+        worst_link = max(worst_link, l2l_link.total_delay_ps)
+
+    fmax = min(c.fmax_mhz for c in chiplets)
+    period_ps = 1e6 / fmax
+    timing_met = worst_link <= period_ps
+    if not timing_met:
         fmax = 1e6 / worst_link
     return FullChipSummary(
         total_power_mw=chiplet_mw + intra_mw + inter_mw,

@@ -14,11 +14,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..arch.topology import is_default_topology, validate_topology
 from ..chiplet.bumps import plan_for_design
 from ..core.flow import (DesignResult, FlowTaskSpec, run_flow_task)
 from ..cost.model import package_cost
 from ..interposer.pdn import build_pdn
-from ..interposer.placement import place_dies
+from ..interposer.placement import place_chiplets, place_dies
 from ..pi.impedance import analyze_pdn_impedance
 from ..si.channel import Channel, measure_channel
 from ..si.tline import line_for_spec
@@ -133,7 +134,9 @@ def _evaluate_flow(sweep: SweepSpec,
                                             sweep.target_frequency_mhz)),
         with_eyes=sweep.with_eyes,
         with_thermal=sweep.with_thermal,
-        spec_overrides=tuple(sorted(overrides.items())))
+        spec_overrides=tuple(sorted(overrides.items())),
+        num_chiplets=int(flow.get("num_chiplets", 2)),
+        arrangement=str(flow.get("arrangement", "grid")))
     out = run_flow_task(task)
     if not out.ok:
         raise PointEvaluationError(out.error_type, out.error_message,
@@ -144,16 +147,39 @@ def _evaluate_flow(sweep: SweepSpec,
                 _cached=out.cached)
 
 
-def _geometry(spec: InterposerSpec) -> Dict[str, object]:
-    lp = plan_for_design(spec, "logic", cell_area_um2=LOGIC_CELL_AREA_UM2)
-    mp = plan_for_design(spec, "memory",
-                         cell_area_um2=MEMORY_CELL_AREA_UM2)
-    placement = place_dies(spec, lp, mp)
+def _geometry(spec: InterposerSpec, num_chiplets: int = 2,
+              arrangement: str = "grid") -> Dict[str, object]:
+    if is_default_topology(num_chiplets, arrangement):
+        lp = plan_for_design(spec, "logic",
+                             cell_area_um2=LOGIC_CELL_AREA_UM2)
+        mp = plan_for_design(spec, "memory",
+                             cell_area_um2=MEMORY_CELL_AREA_UM2)
+        placement = place_dies(spec, lp, mp)
+        return {
+            "logic_die_mm": float(lp.width_mm),
+            "memory_die_mm": float(mp.width_mm),
+            "interposer_area_mm2": float(placement.area_mm2),
+            "_placement": placement,  # consumed by link_pdn, stripped below
+        }
+    # N-chiplet approximation: the paper-scale system area split into N
+    # equal parts, kinds alternating logic/memory (a balanced partition's
+    # shape without running one), packed per the requested arrangement.
+    total = LOGIC_CELL_AREA_UM2 + MEMORY_CELL_AREA_UM2
+    part_area = total / num_chiplets
+    kinds = ["logic" if i % 2 == 0 else "memory"
+             for i in range(num_chiplets)]
+    plans = [plan_for_design(spec, k, cell_area_um2=part_area)
+             for k in kinds]
+    placement = place_chiplets(spec, plans, kinds, arrangement)
+    logic_w = next(p.width_mm for p, k in zip(plans, kinds)
+                   if k == "logic")
+    mem_w = next((p.width_mm for p, k in zip(plans, kinds)
+                  if k == "memory"), logic_w)
     return {
-        "logic_die_mm": float(lp.width_mm),
-        "memory_die_mm": float(mp.width_mm),
+        "logic_die_mm": float(logic_w),
+        "memory_die_mm": float(mem_w),
         "interposer_area_mm2": float(placement.area_mm2),
-        "_placement": placement,  # consumed by link_pdn, stripped below
+        "_placement": placement,
     }
 
 
@@ -161,7 +187,10 @@ def _evaluate_geometry(sweep: SweepSpec,
                        base_spec: Optional[InterposerSpec],
                        params: Mapping[str, object]) -> Dict[str, object]:
     spec = point_spec(sweep, params, base_spec)
-    metrics = _geometry(spec)
+    flow, _ = split_params(sweep, params)
+    num_chiplets, arrangement = validate_topology(
+        flow.get("num_chiplets", 2), flow.get("arrangement", "grid"))
+    metrics = _geometry(spec, num_chiplets, arrangement)
     metrics.pop("_placement")
     return metrics
 

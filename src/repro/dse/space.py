@@ -34,12 +34,16 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..arch.topology import validate_topology
 from ..tech.interposer import InterposerSpec, get_spec
 
 #: Flow-level parameters an axis may target (everything else must be an
-#: ``InterposerSpec`` field).  ``length_um`` feeds the link evaluators.
+#: ``InterposerSpec`` field).  ``length_um`` feeds the link evaluators;
+#: ``num_chiplets``/``arrangement`` are the N-chiplet topology axes
+#: (see :mod:`repro.arch.topology`).
 FLOW_AXIS_PARAMS = frozenset({
     "design", "scale", "seed", "target_frequency_mhz", "length_um",
+    "num_chiplets", "arrangement",
 })
 
 #: Spec fields that cannot be swept (identity/enum fields).
@@ -121,6 +125,12 @@ class Axis:
         if self.name == "design":
             for v in self.values or ():
                 get_spec(str(v))  # raises KeyError on unknown names
+        if self.name == "num_chiplets":
+            for v in self.values or ():
+                validate_topology(v, "grid")
+        if self.name == "arrangement":
+            for v in self.values or ():
+                validate_topology(2, v)
 
     @property
     def is_categorical(self) -> bool:

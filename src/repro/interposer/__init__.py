@@ -1,14 +1,15 @@
 """Interposer physical design: die placement, RDL routing, PDN."""
 
 from .pdn import PdnStackup, build_pdn, pdn_summary
-from .placement import (InterposerPlacement, PlacedDie, place_dies,
+from .placement import (InterposerPlacement, PlacedDie, place_chiplets,
+                        place_dies,
                         EDGE_MARGIN_25D_MM, EDGE_MARGIN_3D_MM)
-from .routing import (InterposerRoute, RoutedNet, RoutingGrid,
-                      route_interposer)
+from .routing import (InterposerRoute, PinLink, RoutedNet, RoutingGrid,
+                      route_interposer, route_interposer_pins)
 
 __all__ = [
     "EDGE_MARGIN_25D_MM", "EDGE_MARGIN_3D_MM", "InterposerPlacement",
-    "InterposerRoute", "PdnStackup", "PlacedDie", "RoutedNet",
-    "RoutingGrid", "build_pdn", "pdn_summary", "place_dies",
-    "route_interposer",
+    "InterposerRoute", "PdnStackup", "PinLink", "PlacedDie", "RoutedNet",
+    "RoutingGrid", "build_pdn", "pdn_summary", "place_chiplets",
+    "place_dies", "route_interposer", "route_interposer_pins",
 ]

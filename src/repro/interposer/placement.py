@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..chiplet.bumps import BumpPlan
+from ..chiplet.floorplan import arrange_outlines
 from ..tech.interposer import IntegrationStyle, InterposerSpec
 
 #: Edge margin (mm) around the die field for C4/TGV rings on 2.5D designs.
@@ -94,6 +95,13 @@ class InterposerPlacement:
                 return d
         raise KeyError(f"no die tile{tile}/{kind}")
 
+    def die_by_name(self, name: str) -> PlacedDie:
+        """Look up a placed die by its instance name."""
+        for d in self.dies:
+            if d.name == name:
+                return d
+        raise KeyError(f"no die named {name!r}")
+
     def overlaps(self) -> bool:
         """Whether any two same-level dies overlap (sanity invariant)."""
         for i, a in enumerate(self.dies):
@@ -132,6 +140,83 @@ def place_dies(spec: InterposerSpec, logic_plan: BumpPlan,
     if spec.style is IntegrationStyle.TSV_STACK:
         return _place_stack(spec, lw, mw, num_tiles)
     return _place_side_by_side(spec, lw, mw, gap, num_tiles)
+
+
+def place_chiplets(spec: InterposerSpec, plans: List[BumpPlan],
+                   kinds: List[str],
+                   arrangement: str = "grid") -> InterposerPlacement:
+    """Arrange ``N`` arbitrary chiplets on the interposer.
+
+    The N-chiplet generalization of :func:`place_dies`: dies are named
+    ``chiplet<i>`` with ``tile == i`` and packed per the requested
+    arrangement (see :mod:`repro.arch.topology`).  Lateral arrangements
+    (``grid``/``row``/``hexagonal``) delegate the outline packing to
+    :func:`repro.chiplet.floorplan.arrange_outlines`; ``stacked`` pairs
+    consecutive dies vertically — the odd-indexed die of each pair is
+    embedded beneath the even-indexed one, so it needs an
+    embedding-capable interposer.  A TSV-stack technology (no
+    interposer) always collapses to one vertical stack column.
+
+    Args:
+        spec: Interposer technology.
+        plans: Bump plan (die size) per chiplet.
+        kinds: ``"logic"``/``"memory"`` label per chiplet.
+        arrangement: One of :data:`repro.arch.topology.ARRANGEMENTS`.
+
+    Returns:
+        An :class:`InterposerPlacement` with non-overlapping same-level
+        dies.
+
+    Raises:
+        ValueError: On a plan/kind length mismatch, or a ``stacked``
+            arrangement on a technology that cannot embed dies.
+    """
+    if not plans:
+        raise ValueError("need at least one chiplet")
+    if len(plans) != len(kinds):
+        raise ValueError(f"{len(plans)} plans but {len(kinds)} kinds")
+    widths = [p.width_mm for p in plans]
+    gap = spec.die_spacing_um / 1000.0
+
+    if spec.style is IntegrationStyle.TSV_STACK:
+        dies = [PlacedDie(f"chiplet{i}", i, kinds[i], 0.0, 0.0, widths[i],
+                          f"stack{i:02d}")
+                for i in range(len(plans))]
+        side = max(widths)
+        return InterposerPlacement(spec=spec, dies=dies, width_mm=side,
+                                   height_mm=side)
+
+    if arrangement == "stacked":
+        if not spec.supports_embedding:
+            raise ValueError(f"{spec.name} cannot embed dies; the "
+                             f"stacked arrangement needs a cavity "
+                             f"interposer")
+        m = EDGE_MARGIN_3D_MM
+        stack_widths = [max(widths[i:i + 2])
+                        for i in range(0, len(widths), 2)]
+        outlines = arrange_outlines(stack_widths, "row", gap, m)
+        dies = []
+        for i, w in enumerate(widths):
+            site = outlines[i // 2]
+            off_x = site.x + (site.w - w) / 2.0
+            off_y = site.y + (site.h - w) / 2.0
+            level = "top" if i % 2 == 0 else "embedded"
+            dies.append(PlacedDie(f"chiplet{i}", i, kinds[i],
+                                  off_x, off_y, w, level))
+        width = max(r.x + r.w for r in outlines) + m
+        height = max(r.y + r.h for r in outlines) + m
+        return InterposerPlacement(spec=spec, dies=dies, width_mm=width,
+                                   height_mm=height)
+
+    m = EDGE_MARGIN_25D_MM
+    outlines = arrange_outlines(widths, arrangement, gap, m)
+    dies = [PlacedDie(f"chiplet{i}", i, kinds[i], r.x, r.y, widths[i],
+                      "top")
+            for i, r in enumerate(outlines)]
+    width = max(r.x + r.w for r in outlines) + m
+    height = max(r.y + r.h for r in outlines) + m
+    return InterposerPlacement(spec=spec, dies=dies, width_mm=width,
+                               height_mm=height)
 
 
 def _place_side_by_side(spec: InterposerSpec, lw: float, mw: float,

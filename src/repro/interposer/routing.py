@@ -1597,6 +1597,20 @@ def route_interposer(placement: InterposerPlacement,
     grid, stacked, todo = _routing_problem(placement, logic_bumps,
                                            memory_bumps, l2m_signals,
                                            l2l_signals)
+    return _route_with_grid(placement, grid, stacked, todo)
+
+
+def _route_with_grid(placement: InterposerPlacement, grid: RoutingGrid,
+                     stacked: List[RoutedNet],
+                     todo: List[Tuple[str, str, Tuple[float, float],
+                                      Tuple[float, float]]]
+                     ) -> InterposerRoute:
+    """Vectorized router engine over a prepared problem.
+
+    Shared by the legacy 2-chiplet entry point and the N-chiplet
+    pin-map entry point; the problem is (grid, pre-routed stacked vias,
+    lateral jobs) regardless of how many dies produced it.
+    """
     stats = RouterStats()
     nx = grid.nx
     plane = grid.ny * nx
@@ -1710,7 +1724,15 @@ def route_interposer_scalar(placement: InterposerPlacement,
     grid, stacked, todo = _routing_problem(placement, logic_bumps,
                                            memory_bumps, l2m_signals,
                                            l2l_signals)
+    return _route_with_grid_scalar(placement, grid, stacked, todo)
 
+
+def _route_with_grid_scalar(placement: InterposerPlacement,
+                            grid: RoutingGrid, stacked: List[RoutedNet],
+                            todo: List[Tuple[str, str, Tuple[float, float],
+                                             Tuple[float, float]]]
+                            ) -> InterposerRoute:
+    """Scalar (golden-reference) router engine over a prepared problem."""
     # ---- phase 1: pattern route, shortest first ----------------------- #
     routed: Dict[str, RoutedNet] = {}
     for name, kind, s_mm, d_mm in sorted(todo, key=_manhattan_mm):
@@ -1750,3 +1772,105 @@ def route_interposer_scalar(placement: InterposerPlacement,
     return InterposerRoute(placement=placement, nets=nets,
                            signal_layers_used=len(layers_used),
                            overflow_cells=grid.overflow_cells())
+
+
+#: One inter-chiplet bundle: (die_a name, die_b name, net kind, count).
+PinLink = Tuple[str, str, str, int]
+
+
+def _pin_problem(placement: InterposerPlacement,
+                 pin_map: Dict[str, List[Tuple[float, float]]],
+                 links: Sequence[PinLink]
+                 ) -> Tuple[RoutingGrid, List[RoutedNet],
+                            List[Tuple[str, str, Tuple[float, float],
+                                       Tuple[float, float]]]]:
+    """Build a routing problem from multi-chiplet pin maps.
+
+    The N-chiplet twin of :func:`_routing_problem`: instead of the
+    paper's fixed per-tile logic/memory bundles, it takes an explicit
+    die-name → signal-bump-site map plus a list of pairwise link
+    bundles (e.g. from
+    :func:`repro.partition.multiway.pairwise_cut_links`).  Links whose
+    endpoint dies sit at different levels (a die embedded beneath its
+    partner) become pre-routed stacked vias; lateral links become
+    pattern/maze jobs on the same grid the 2-chiplet router uses.  A
+    bundle is capped at the facing signal-site count of its smaller
+    endpoint.
+
+    Returns:
+        ``(grid, stacked, todo)`` for the shared router engines.
+    """
+    spec = placement.spec
+    if spec.style is IntegrationStyle.TSV_STACK:
+        raise ValueError("silicon 3D has no interposer to route; use the "
+                         "3D interconnect models instead")
+    signal_layers = max(1, spec.metal_layers - 2)  # 2 reserved for PDN
+    grid = RoutingGrid(placement.width_mm, placement.height_mm,
+                       signal_layers, spec.wire_pitch_um,
+                       diagonal=spec.routing is RoutingStyle.DIAGONAL)
+    cap_under = _die_escape_capacity(spec)
+    for die in placement.dies:
+        if die.level == "top":
+            grid.derate_region(die.x_mm, die.y_mm,
+                               die.x_mm + die.width_mm,
+                               die.y_mm + die.width_mm, cap_under)
+
+    stacked: List[RoutedNet] = []
+    todo: List[Tuple[str, str, Tuple[float, float], Tuple[float, float]]] = []
+    for name_a, name_b, kind, count in links:
+        if count < 1:
+            continue
+        die_a = placement.die_by_name(name_a)
+        die_b = placement.die_by_name(name_b)
+        prefix = f"c{die_a.tile}_{die_b.tile}_{kind}"
+        if die_a.level != die_b.level:
+            # Vertically stacked pair: microvias through the RDL, as in
+            # the glass 3D design.
+            stack_um = (spec.dielectric_thickness_um * spec.metal_layers
+                        + 10.0)
+            for i in range(count):
+                stacked.append(RoutedNet(
+                    name=f"{prefix}_{i}", kind="stacked_via",
+                    length_mm=stack_um / 1000.0,
+                    vias=spec.metal_layers, layers=set()))
+            continue
+        src_sites = _facing_bumps(die_a, pin_map[name_a], count,
+                                  die_b.center)
+        dst_sites = _facing_bumps(die_b, pin_map[name_b], count,
+                                  die_a.center)
+        for i, (s, d) in enumerate(_pair_sites(die_a, src_sites,
+                                               die_b, dst_sites)):
+            todo.append((f"{prefix}_{i}", kind, s, d))
+    return grid, stacked, todo
+
+
+def route_interposer_pins(placement: InterposerPlacement,
+                          pin_map: Dict[str, List[Tuple[float, float]]],
+                          links: Sequence[PinLink]) -> InterposerRoute:
+    """Route arbitrary multi-chiplet link bundles on the interposer.
+
+    Consumes the pin maps of any :func:`place_chiplets` arrangement
+    through the same vectorized pattern + batched rip-up/reroute engine
+    as :func:`route_interposer` — the grid does not care how many dies
+    feed it.  Bit-identical to :func:`route_interposer_pins_scalar`.
+
+    Args:
+        placement: Die arrangement (must not be a TSV stack).
+        pin_map: die name → die-local signal bump sites (um).
+        links: Pairwise bundles ``(die_a, die_b, kind, count)``.
+
+    Returns:
+        An :class:`InterposerRoute` with per-net lengths/vias/layers.
+    """
+    grid, stacked, todo = _pin_problem(placement, pin_map, links)
+    return _route_with_grid(placement, grid, stacked, todo)
+
+
+def route_interposer_pins_scalar(placement: InterposerPlacement,
+                                 pin_map: Dict[str,
+                                               List[Tuple[float, float]]],
+                                 links: Sequence[PinLink]
+                                 ) -> InterposerRoute:
+    """Golden-reference scalar twin of :func:`route_interposer_pins`."""
+    grid, stacked, todo = _pin_problem(placement, pin_map, links)
+    return _route_with_grid_scalar(placement, grid, stacked, todo)

@@ -3,8 +3,8 @@
 from .fm import PartitionResult, cut_nets, fm_bipartition
 from .hierarchical import (Chipletization, chipletize, compare_with_fm,
                            hierarchical_assignment, module_of)
-from .multiway import (MultiwayResult, multiway_cut_nets,
-                       recursive_bisection)
+from .multiway import (MultiwayResult, multiway_cut_nets, nway_partition,
+                       pairwise_cut_links, recursive_bisection)
 from .serdes import (SerDesConfig, SerializedBus, insert_serdes_cells,
                      serdes_cell_overhead, serialize_buses, total_lanes)
 
@@ -13,6 +13,7 @@ __all__ = [
     "SerDesConfig", "SerializedBus",
     "chipletize", "compare_with_fm", "cut_nets", "fm_bipartition",
     "hierarchical_assignment", "insert_serdes_cells", "module_of",
-    "multiway_cut_nets", "recursive_bisection",
+    "multiway_cut_nets", "nway_partition", "pairwise_cut_links",
+    "recursive_bisection",
     "serdes_cell_overhead", "serialize_buses", "total_lanes",
 ]

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..arch.topology import validate_topology
 from ..core.flow import (DesignResult, FlowTaskSpec, OverridesKey,
                          code_version, run_flow_task)
 from ..tech.interposer import get_spec
@@ -57,6 +58,9 @@ class EvalRequest:
         with_thermal: Run the thermal solve (flow kind).
         length_um: Link length (link/link_pdn kinds).
         spec_overrides: Sorted ``InterposerSpec`` field overrides.
+        num_chiplets: Parts the system netlist splits into (flow and
+            geometry kinds; see :mod:`repro.arch.topology`).
+        arrangement: Chiplet arrangement on the interposer.
     """
 
     kind: str = "flow"
@@ -68,6 +72,8 @@ class EvalRequest:
     with_thermal: bool = True
     length_um: float = 2000.0
     spec_overrides: OverridesKey = ()
+    num_chiplets: int = 2
+    arrangement: str = "grid"
 
     def __post_init__(self):
         canonical = tuple(sorted(tuple(self.spec_overrides)))
@@ -84,6 +90,7 @@ class EvalRequest:
         if self.length_um <= 0:
             raise ValueError(
                 f"length_um must be > 0, got {self.length_um}")
+        validate_topology(self.num_chiplets, self.arrangement)
 
     def to_dict(self) -> Dict[str, object]:
         """Canonical JSON-safe dict (round-trips via :meth:`from_dict`)."""
@@ -97,6 +104,8 @@ class EvalRequest:
             "with_thermal": bool(self.with_thermal),
             "length_um": float(self.length_um),
             "spec_overrides": dict(self.spec_overrides),
+            "num_chiplets": int(self.num_chiplets),
+            "arrangement": str(self.arrangement),
         }
 
     @classmethod
@@ -104,7 +113,8 @@ class EvalRequest:
         """Parse and canonicalize a request dict; unknown keys raise."""
         known = {"kind", "design", "scale", "seed",
                  "target_frequency_mhz", "with_eyes", "with_thermal",
-                 "length_um", "spec_overrides"}
+                 "length_um", "spec_overrides", "num_chiplets",
+                 "arrangement"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -117,6 +127,8 @@ class EvalRequest:
             design = get_spec(design).name  # resolve aliases
         except KeyError:
             pass  # keep as-is; validate() reports it
+        num_chiplets, arrangement = validate_topology(
+            data.get("num_chiplets", 2), data.get("arrangement", "grid"))
         req = cls(
             kind=str(data.get("kind", "flow")),
             design=design,
@@ -127,7 +139,8 @@ class EvalRequest:
             with_eyes=bool(data.get("with_eyes", True)),
             with_thermal=bool(data.get("with_thermal", True)),
             length_um=float(data.get("length_um", 2000.0)),
-            spec_overrides=tuple((str(k), v) for k, v in overrides))
+            spec_overrides=tuple((str(k), v) for k, v in overrides),
+            num_chiplets=num_chiplets, arrangement=arrangement)
         req.validate()
         return req
 
@@ -157,7 +170,8 @@ class EvalRequest:
             design=self.design, scale=self.scale, seed=self.seed,
             target_frequency_mhz=self.target_frequency_mhz,
             with_eyes=self.with_eyes, with_thermal=self.with_thermal,
-            spec_overrides=self.spec_overrides)
+            spec_overrides=self.spec_overrides,
+            num_chiplets=self.num_chiplets, arrangement=self.arrangement)
 
 
 @dataclass
@@ -250,7 +264,10 @@ def _stage_sweep_and_params(request: EvalRequest):
         target_frequency_mhz=request.target_frequency_mhz,
         length_um=request.length_um,
         with_eyes=request.with_eyes, with_thermal=request.with_thermal)
-    return sweep, dict(request.spec_overrides)
+    params = dict(request.spec_overrides)
+    params["num_chiplets"] = request.num_chiplets
+    params["arrangement"] = request.arrangement
+    return sweep, params
 
 
 def execute_request(request: EvalRequest) -> ServeResult:
@@ -314,4 +331,6 @@ def request_for_point(sweep, params: Mapping[str, object]
         with_eyes=sweep.with_eyes,
         with_thermal=sweep.with_thermal,
         length_um=float(flow.get("length_um", sweep.length_um)),
-        spec_overrides=tuple(sorted(overrides.items())))
+        spec_overrides=tuple(sorted(overrides.items())),
+        num_chiplets=int(flow.get("num_chiplets", 2)),
+        arrangement=str(flow.get("arrangement", "grid")))

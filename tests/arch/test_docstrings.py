@@ -1,0 +1,68 @@
+"""Docstring-coverage gate for the architecture substrate.
+
+Every public module, class, method, and function under ``repro.arch``
+must carry a docstring — the netlist/topology layer is the entry point
+the N-chiplet generalization (GUIDE section 15) documents, and its
+names (``validate_topology``, ``Netlist``, the generators) are what
+space files and the serve protocol reference.  Mirrors the
+``repro.dse`` gate so a new helper cannot land silently undocumented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro.arch
+
+
+def iter_arch_modules():
+    """Yield every module in the ``repro.arch`` package."""
+    yield repro.arch
+    for info in pkgutil.iter_modules(repro.arch.__path__,
+                                     prefix="repro.arch."):
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    """Yield ``(qualname, obj)`` for public classes/functions defined
+    in ``module`` (not re-exports), plus public methods of those
+    classes."""
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        yield f"{module.__name__}.{name}", obj
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                func = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                if not inspect.isfunction(func):
+                    continue
+                yield f"{module.__name__}.{name}.{mname}", func
+
+
+def test_every_public_arch_name_has_a_docstring():
+    missing = []
+    for module in iter_arch_modules():
+        if not (module.__doc__ or "").strip():
+            missing.append(module.__name__ + " (module)")
+        for qualname, obj in public_members(module):
+            if not (inspect.getdoc(obj) or "").strip():
+                missing.append(qualname)
+    assert not missing, (
+        "public repro.arch names without docstrings:\n  "
+        + "\n  ".join(sorted(missing)))
+
+
+def test_topology_names_are_exported():
+    # The topology axis surface GUIDE section 15 documents.
+    for name in ("ARRANGEMENTS", "MIN_CHIPLETS", "MAX_CHIPLETS",
+                 "validate_topology", "is_default_topology"):
+        assert name in repro.arch.__all__
+        assert hasattr(repro.arch, name)

@@ -343,3 +343,56 @@ class TestCacheCli:
         captured = capsys.readouterr()
         assert "gc: removed 1 entries" in captured.err
         assert store.stats().entries == 0
+
+
+class TestTopologyCli:
+    """The --num-chiplets/--arrangement axes: rejected with the
+    one-line error convention when out of range, threaded into the
+    flow when valid."""
+
+    def test_num_chiplets_out_of_range(self, capsys):
+        rc = main(["glass_25d", "--num-chiplets", "1"])
+        assert rc == 2
+        assert "num_chiplets must be between" in _one_line_error(capsys)
+
+    def test_num_chiplets_above_max(self, capsys):
+        rc = main(["glass_25d", "--num-chiplets", "65"])
+        assert rc == 2
+        assert "num_chiplets must be between" in _one_line_error(capsys)
+
+    def test_unknown_arrangement(self, capsys):
+        rc = main(["glass_25d", "--arrangement", "ring"])
+        assert rc == 2
+        err = _one_line_error(capsys)
+        assert "unknown arrangement 'ring'" in err
+        assert "hexagonal" in err  # the message lists the choices
+
+    def test_non_integer_count(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["glass_25d", "--num-chiplets", "two"])
+        assert exc.value.code == 2
+
+    def test_monolithic_conflict(self, capsys):
+        rc = main(["monolithic", "--num-chiplets", "4"])
+        assert rc == 2
+        assert "monolithic baseline has no chiplets" \
+            in _one_line_error(capsys)
+
+    def test_stacked_needs_embedding(self, capsys):
+        rc = main(["silicon_25d", "--arrangement", "stacked"])
+        assert rc == 2
+        assert "cannot embed dies" in _one_line_error(capsys)
+
+    def test_stacked_all_names_offenders(self, capsys):
+        rc = main(["all", "--arrangement", "stacked",
+                   "--num-chiplets", "4"])
+        assert rc == 2
+        err = _one_line_error(capsys)
+        assert "silicon_25d" in err and "shinko" in err and "apx" in err
+
+    def test_nchiplet_run_threads_topology(self, capsys):
+        rc = main(["glass_25d", "--scale", "0.015", "--no-eyes",
+                   "--no-thermal", "--num-chiplets", "3",
+                   "--arrangement", "row"])
+        assert rc == 0
+        assert "glass_25d" in capsys.readouterr().out

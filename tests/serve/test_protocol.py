@@ -124,3 +124,31 @@ class TestRequestForPoint:
         req = request_for_point(sweep, {"length_um": 900.0})
         assert req.length_um == 900.0
         assert req.spec_overrides == ()
+
+
+class TestTopologyProtocol:
+    def test_topology_round_trips(self):
+        req = EvalRequest.from_dict({"kind": "flow", "scale": 0.02,
+                                     "num_chiplets": 6,
+                                     "arrangement": "hexagonal"})
+        assert req.num_chiplets == 6
+        assert req.arrangement == "hexagonal"
+        assert EvalRequest.from_dict(req.to_dict()) == req
+
+    def test_flow_task_carries_topology(self):
+        req = EvalRequest(kind="flow", scale=0.02, num_chiplets=4,
+                          arrangement="row")
+        task = req.flow_task()
+        assert task.num_chiplets == 4
+        assert task.arrangement == "row"
+
+    def test_normalizes_integral_float_count(self):
+        req = EvalRequest.from_dict({"kind": "geometry",
+                                     "num_chiplets": 4.0})
+        assert req.num_chiplets == 4
+        assert isinstance(req.num_chiplets, int)
+
+    def test_topology_distinguishes_tokens(self):
+        a = EvalRequest(kind="flow", num_chiplets=4)
+        b = EvalRequest(kind="flow", num_chiplets=6)
+        assert a.cache_token() != b.cache_token()

@@ -215,3 +215,44 @@ class TestHttpEdges:
         assert {"jobs", "cache", "pool", "store",
                 "evaluations_run", "dedupe_joins"} <= set(stats)
         assert stats["pool"]["active"] is True
+
+
+class TestTopologyHttp:
+    """The topology axes over HTTP: invalid values are 400s (same
+    shared validator as the CLI), valid ones round-trip through a
+    served geometry evaluation."""
+
+    def test_bad_num_chiplets_400(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._json("POST", "/v1/tasks",
+                         body={"kind": "geometry", "num_chiplets": 1})
+        assert exc.value.status == 400
+        assert "num_chiplets must be between" in str(exc.value)
+
+    def test_unknown_arrangement_400(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._json("POST", "/v1/tasks",
+                         body={"kind": "geometry",
+                               "arrangement": "ring"})
+        assert exc.value.status == 400
+        assert "unknown arrangement" in str(exc.value)
+
+    def test_non_integral_count_400(self, client):
+        with pytest.raises(ServeError) as exc:
+            client._json("POST", "/v1/tasks",
+                         body={"kind": "geometry",
+                               "num_chiplets": 2.5})
+        assert exc.value.status == 400
+
+    def test_topology_geometry_served(self, client):
+        handle = client.submit(EvalRequest(
+            kind="geometry", num_chiplets=5, arrangement="hexagonal"))
+        result = client.result(handle.job_id)
+        assert result.ok
+        assert result.metrics["interposer_area_mm2"] > 0
+        # A different arrangement is a different content address.
+        base = EvalRequest(kind="geometry", num_chiplets=5,
+                           arrangement="hexagonal")
+        other = EvalRequest(kind="geometry", num_chiplets=5,
+                            arrangement="row")
+        assert other.cache_token() != base.cache_token()
